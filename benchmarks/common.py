@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the relevant (application × configuration) sweep inside ``benchmark.pedantic``
+(one round — these are simulations, not microbenchmarks), prints the rendered
+rows, and archives them under ``benchmarks/results/`` so the EXPERIMENTS.md
+numbers can be traced to a concrete run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Per-app scales for benchmark runs — large enough to be representative,
+#: small enough that the whole harness finishes in a few minutes.
+INTRA_SCALE = 1.0
+INTER_SCALE = 1.0
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===")
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

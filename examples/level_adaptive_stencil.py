@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Model 2 end to end: compile a stencil, inspect the plan, run level-adaptive.
+
+Builds a 1-D stencil program in the Model-2 IR, runs the mini-ROSE pipeline
+(CFG → DEF-USE → instrumentation plan), prints the WB_CONS/INV_PROD
+directives the compiler inserted, then executes under Addr and Addr+L on the
+4-block × 8-core machine and reports how many WB/INV lines stayed inside a
+block — including under a scrambled thread placement, which the ThreadMap
+hardware absorbs without recompilation.
+
+Run:  python examples/level_adaptive_stencil.py
+"""
+
+from repro import Machine, inter_block_machine
+from repro.compiler import ir
+from repro.compiler.defuse import analyze
+from repro.compiler.executor import ModelTwoRunner
+from repro.compiler.interp import interpret
+from repro.core.config import INTER_ADDR, INTER_ADDR_L
+from repro.noc.placement import Placement, round_robin_placement
+
+N = 256
+ITERS = 3
+THREADS = 32
+
+
+def build_program():
+    stencil = ir.ParallelFor(
+        "stencil",
+        N - 2,
+        (
+            ir.Assign(
+                ir.Ref("b", ir.Affine(1, 1)),
+                (
+                    ir.Ref("a", ir.Affine(1, 0)),
+                    ir.Ref("a", ir.Affine(1, 1)),
+                    ir.Ref("a", ir.Affine(1, 2)),
+                ),
+                lambda i, w, c, e: (w + c + e) / 3.0,
+            ),
+        ),
+    )
+    copy = ir.ParallelFor(
+        "copy",
+        N - 2,
+        (
+            ir.Assign(
+                ir.Ref("a", ir.Affine(1, 1)),
+                (ir.Ref("b", ir.Affine(1, 1)),),
+                lambda i, v: v,
+            ),
+        ),
+    )
+    return ir.IRProgram(
+        "stencil1d", {"a": N, "b": N}, (ir.Loop(ITERS, (stencil, copy)),)
+    )
+
+
+def show_plan(program):
+    plan = analyze(program, THREADS)
+    print("Compiler-inserted directives for thread 8 (first of block 1):")
+    for sid in sorted(plan.wb_after):
+        for d in plan.wbs(sid, 8):
+            print(
+                f"  stmt {sid}: WB_CONS {d.array}[{d.lo}:{d.hi}] "
+                f"-> consumers {sorted(d.cons) if d.cons else 'GLOBAL'}"
+            )
+    for sid in sorted(plan.inv_before):
+        for d in plan.invs(sid, 8):
+            print(
+                f"  stmt {sid}: INV_PROD {d.array}[{d.lo}:{d.hi}] "
+                f"<- producer {d.prod if d.prod is not None else 'GLOBAL'}"
+            )
+
+
+def run(program, config, placement=None):
+    params = inter_block_machine(4, 8)
+    machine = Machine(
+        params,
+        config,
+        num_threads=None if placement else THREADS,
+        placement=placement,
+    )
+    runner = ModelTwoRunner(machine, program)
+    runner.preload("a", [float(i % 7) for i in range(N)])
+    runner.spawn_all()
+    stats = machine.run()
+    return runner, stats
+
+
+def main():
+    program = build_program()
+    show_plan(program)
+
+    want = interpret(program, THREADS, {"a": [float(i % 7) for i in range(N)]})
+
+    print(f"\n{'config':22s} {'exec':>8s} {'global wb/inv':>14s} {'local wb/inv':>13s}")
+    for label, config, placement in (
+        ("Addr", INTER_ADDR, None),
+        ("Addr+L", INTER_ADDR_L, None),
+        (
+            "Addr+L (scattered)",
+            INTER_ADDR_L,
+            round_robin_placement(inter_block_machine(4, 8), THREADS),
+        ),
+    ):
+        runner, stats = run(program, config, placement)
+        assert runner.result("a") == want["a"], f"{label}: wrong result!"
+        print(
+            f"{label:22s} {stats.exec_time:8d} "
+            f"{stats.global_wb_lines:6d}/{stats.global_inv_lines:<6d} "
+            f"{stats.local_wb_lines:6d}/{stats.local_inv_lines:<6d}"
+        )
+    print(
+        "\nThe same binary runs correctly under any placement; the ThreadMap"
+        "\nhardware decides per WB_CONS/INV_PROD whether to stay in-block."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: a producer-consumer program on the incoherent hierarchy.
+
+Builds a 4-core block, runs the same barrier-synchronized program under
+hardware coherence (HCC) and under the incoherent hierarchy with Model-1
+annotations (Base and B+M+I), verifies the results match, and prints the
+execution-time and traffic comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    INTRA_BASE,
+    INTRA_BMI,
+    INTRA_HCC,
+    Machine,
+    intra_block_machine,
+)
+
+N = 256
+
+
+def program(ctx, data, out):
+    """Each thread fills a chunk, then consumes its neighbor's chunk.
+
+    ``ctx.barrier()`` carries the Figure-4a annotations automatically: a
+    WB ALL before the barrier and an INV ALL after it (no-ops under HCC).
+    """
+    chunk = N // ctx.nthreads
+    lo = ctx.tid * chunk
+    for i in range(lo, lo + chunk):
+        yield from ctx.store(data.addr(i), i * i)
+    yield from ctx.barrier()
+
+    src = ((ctx.tid + 1) % ctx.nthreads) * chunk
+    for k in range(chunk):
+        value = yield from ctx.load(data.addr(src + k))
+        yield from ctx.store(out.addr(lo + k), value + 1)
+    yield from ctx.barrier()
+
+
+def run(config):
+    machine = Machine(intra_block_machine(4), config, num_threads=4)
+    data = machine.array("data", N)
+    out = machine.array("out", N)
+    machine.spawn_all(lambda ctx: program(ctx, data, out))
+    stats = machine.run()
+
+    # Verify against the obvious sequential answer.
+    chunk = N // 4
+    for t in range(4):
+        src = ((t + 1) % 4) * chunk
+        for k in range(chunk):
+            got = machine.read_word(out.addr(t * chunk + k))
+            assert got == (src + k) ** 2 + 1, (config.name, t, k, got)
+    return stats
+
+
+def main():
+    print(f"{'config':8s} {'exec cycles':>12s} {'flits':>8s} {'L1 misses':>10s}")
+    for config in (INTRA_HCC, INTRA_BASE, INTRA_BMI):
+        stats = run(config)
+        s = stats.summary()
+        print(
+            f"{config.name:8s} {stats.exec_time:12d} "
+            f"{stats.total_flits:8d} {s['l1_misses']:10d}"
+        )
+    print("\nAll three configurations produced identical, correct results.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Outside-critical-section communication (OCC) and the entry buffers.
+
+The paper's Figure 4d pattern: threads publish work items *outside* any
+critical section, enqueue descriptors under a lock, and other threads
+dequeue and consume the published data — ordered only by the dynamically-
+determined dequeue order.  The Model-1 annotator handles this with a WB ALL
+before each acquire and an INV ALL after each release (plus the critical-
+section INV/WB), and the MEB/IEB make the critical sections cheap.
+
+This example runs a work-stealing pipeline under all five intra-block
+configurations and prints how the MEB/IEB recover the Base configuration's
+lock-stall overhead.
+
+Run:  python examples/task_queue_occ.py
+"""
+
+from repro import Machine, intra_block_machine
+from repro.core.config import INTRA_CONFIGS
+from repro.sim.stats import StallCat
+
+N_TASKS = 48
+PAYLOAD = 8  # words of data published per task
+QUEUE_LOCK = 0
+
+
+def program(ctx, queue, payload, results):
+    n = ctx.nthreads
+    yield from ctx.barrier()
+
+    # Phase 1: every thread produces tasks and enqueues descriptors.
+    my_tasks = range(ctx.tid, N_TASKS, n)
+    for task in my_tasks:
+        # Publish the payload OUTSIDE the critical section.
+        for w in range(PAYLOAD):
+            yield from ctx.store(payload.addr(task * PAYLOAD + w), task * 100 + w)
+        # Enqueue the descriptor (critical section, OCC assumed).
+        yield from ctx.lock_acquire(QUEUE_LOCK, occ=True)
+        tail = yield from ctx.load(queue.addr(0))
+        yield from ctx.store(queue.addr(2 + int(tail)), task)
+        yield from ctx.store(queue.addr(0), int(tail) + 1)
+        yield from ctx.lock_release(QUEUE_LOCK, occ=True)
+
+    yield from ctx.barrier()
+
+    # Phase 2: everyone dequeues and processes whatever is available.
+    while True:
+        yield from ctx.lock_acquire(QUEUE_LOCK, occ=True)
+        head = yield from ctx.load(queue.addr(1))
+        tail = yield from ctx.load(queue.addr(0))
+        if int(head) >= int(tail):
+            yield from ctx.lock_release(QUEUE_LOCK, occ=True)
+            break
+        task = yield from ctx.load(queue.addr(2 + int(head)))
+        yield from ctx.store(queue.addr(1), int(head) + 1)
+        yield from ctx.lock_release(QUEUE_LOCK, occ=True)
+        # Consume the payload OUTSIDE the critical section (OCC!).
+        acc = 0
+        for w in range(PAYLOAD):
+            v = yield from ctx.load(payload.addr(int(task) * PAYLOAD + w))
+            acc += v
+        yield from ctx.store(results.addr(int(task)), acc)
+    yield from ctx.barrier()
+
+
+def main():
+    expected = [
+        sum(t * 100 + w for w in range(PAYLOAD)) for t in range(N_TASKS)
+    ]
+    print(
+        f"{'config':8s} {'exec':>8s} {'lock stall':>11s} "
+        f"{'wb stall':>9s} {'inv stall':>10s}"
+    )
+    for config in INTRA_CONFIGS:
+        machine = Machine(intra_block_machine(8), config, num_threads=8)
+        queue = machine.array("queue", 2 + N_TASKS)  # tail, head, slots
+        payload = machine.array("payload", N_TASKS * PAYLOAD)
+        results = machine.array("results", N_TASKS)
+        machine.spawn_all(lambda ctx: program(ctx, queue, payload, results))
+        stats = machine.run()
+        got = [machine.read_word(results.addr(t)) for t in range(N_TASKS)]
+        assert got == expected, f"{config.name}: OCC data was lost!"
+        print(
+            f"{config.name:8s} {stats.exec_time:8d} "
+            f"{stats.stall_total(StallCat.LOCK):11d} "
+            f"{stats.stall_total(StallCat.WB):9d} "
+            f"{stats.stall_total(StallCat.INV):10d}"
+        )
+    print("\nEvery configuration consumed all published payloads correctly —")
+    print("the OCC annotations make dynamically-ordered communication safe.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""repro — reproduction of *Architecting and Programming a Hardware-Incoherent
+Multiprocessor Cache Hierarchy* (Kim, Tavarageri, Sadayappan, Torrellas,
+IPPS 2016).
+
+The package provides:
+
+* an operation-level discrete-event simulator of a Runnemede-style clustered
+  manycore (private L1s, block-shared banked L2, chip-shared banked L3, 2D
+  mesh, off-chip memory),
+* the paper's hardware-incoherent cache hierarchy — WB/INV ISA with per-word
+  dirty bits, the MEB and IEB entry buffers, level-adaptive
+  ``WB_CONS``/``INV_PROD`` with the per-L2 ThreadMap — plus a full-map
+  directory MESI baseline (HCC),
+* both programming models: Model 1 (annotated shared memory inside a block)
+  and Model 2 (compiler-analyzed shared memory across blocks), and the
+  on-chip MPI layer,
+* scaled reimplementations of the paper's workloads (SPLASH-2 kernels for
+  Model 1; NAS EP/IS/CG and 2D Jacobi for Model 2), and
+* the evaluation harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import Machine, intra_block_machine, INTRA_BMI
+
+    m = Machine(intra_block_machine(4), INTRA_BMI, num_threads=4)
+    data = m.array("data", 1024)
+    ...
+"""
+
+from repro.common.params import (
+    BufferParams,
+    CacheParams,
+    CoreParams,
+    MachineParams,
+    MeshParams,
+    inter_block_machine,
+    intra_block_machine,
+)
+from repro.core.config import (
+    INTER_ADDR,
+    INTER_ADDR_L,
+    INTER_BASE,
+    INTER_CONFIGS,
+    INTER_HCC,
+    INTRA_BASE,
+    INTRA_BI,
+    INTRA_BM,
+    INTRA_BMI,
+    INTRA_CONFIGS,
+    INTRA_HCC,
+    ExperimentConfig,
+    InterMode,
+    inter_config,
+    intra_config,
+)
+from repro.core.context import ThreadCtx
+from repro.core.machine import Machine
+from repro.noc.placement import (
+    Placement,
+    identity_placement,
+    round_robin_placement,
+)
+from repro.sim.stats import MachineStats, StallCat, TrafficCat
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferParams",
+    "CacheParams",
+    "CoreParams",
+    "ExperimentConfig",
+    "INTER_ADDR",
+    "INTER_ADDR_L",
+    "INTER_BASE",
+    "INTER_CONFIGS",
+    "INTER_HCC",
+    "INTRA_BASE",
+    "INTRA_BI",
+    "INTRA_BM",
+    "INTRA_BMI",
+    "INTRA_CONFIGS",
+    "INTRA_HCC",
+    "InterMode",
+    "Machine",
+    "MachineParams",
+    "MachineStats",
+    "MeshParams",
+    "Placement",
+    "StallCat",
+    "ThreadCtx",
+    "TrafficCat",
+    "identity_placement",
+    "inter_block_machine",
+    "inter_config",
+    "intra_block_machine",
+    "intra_config",
+    "round_robin_placement",
+]

@@ -1,0 +1,201 @@
+"""Command-line interface: run experiments and regenerate paper artifacts.
+
+Usage (also via ``python -m repro``)::
+
+    repro list                              # workloads and configurations
+    repro run fft --config B+M+I            # one intra-block run
+    repro run cg --config Addr+L --scale .5 # one inter-block run
+    repro fig9 [--scale S]                  # regenerate a figure/table
+    repro fig10 | fig11 | fig12 | table1 | table3 | storage
+
+Every ``run`` is functionally verified before its statistics print, exactly
+like the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.params import inter_block_machine, intra_block_machine
+from repro.core.config import (
+    INTER_CONFIGS,
+    INTRA_CONFIGS,
+    inter_config,
+    intra_config,
+)
+from repro.eval import report as rpt
+from repro.eval.runner import run_inter, run_intra, sweep_inter, sweep_intra
+from repro.eval.storage import storage_report
+from repro.sim.stats import StallCat
+from repro.workloads import MODEL_ONE, MODEL_TWO
+
+
+def _cmd_list(_args) -> int:
+    print("Model-1 workloads (intra-block, SPLASH-2):")
+    for name, cls in sorted(MODEL_ONE.items()):
+        print(f"  {name:14s} main: {', '.join(cls.main_patterns)}")
+    print("Model-2 workloads (inter-block, NAS/Jacobi):")
+    for name in sorted(MODEL_TWO):
+        print(f"  {name}")
+    print("Intra configs: " + ", ".join(c.name for c in INTRA_CONFIGS))
+    print("Inter configs: " + ", ".join(c.name for c in INTER_CONFIGS))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    app = args.workload
+    if app in MODEL_ONE:
+        config = intra_config(args.config)
+        if args.staleness:
+            from repro.core.machine import Machine
+
+            machine = Machine(
+                intra_block_machine(16),
+                config,
+                num_threads=16,
+                detect_staleness=True,
+            )
+            MODEL_ONE[app](scale=args.scale).run_on(machine)
+            n = len(machine.stale_reads)
+            print(f"{app} under {config.name}: verified OK, "
+                  f"{n} stale read(s) detected")
+            for event in machine.stale_reads[:10]:
+                print(f"  {event!r}")
+            return 0 if n == 0 else 1
+        result = run_intra(app, config, scale=args.scale)
+    elif app in MODEL_TWO:
+        config = inter_config(args.config)
+        result = run_inter(app, config, scale=args.scale)
+    else:
+        print(f"unknown workload {app!r} (try `repro list`)", file=sys.stderr)
+        return 2
+    stats = result.stats
+    print(f"{app} under {config.name}: verified OK")
+    print(f"  exec time     {stats.exec_time} cycles")
+    for cat in StallCat:
+        print(f"  {cat.value:14s}{stats.breakdown()[cat.value]:12.0f}")
+    print(f"  traffic       {stats.total_flits} flits "
+          + str({c.value: v for c, v in stats.traffic.items()}))
+    s = stats.summary()
+    print(f"  loads/stores  {s['loads']}/{s['stores']}  "
+          f"L1 miss rate {s['l1_misses'] / max(1, s['loads'] + s['stores']):.3f}")
+    if stats.global_wb_lines or stats.local_wb_lines:
+        print(f"  WB lines      global {stats.global_wb_lines}, "
+              f"local {stats.local_wb_lines}")
+        print(f"  INV lines     global {stats.global_inv_lines}, "
+              f"local {stats.local_inv_lines}")
+    return 0
+
+
+_PAPER_INTER_APPS = ["cg", "ep", "is", "jacobi"]
+
+
+def _cmd_fig9(args) -> int:
+    results = sweep_intra(sorted(MODEL_ONE), list(INTRA_CONFIGS), scale=args.scale)
+    print(rpt.render_fig9(results))
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    from repro.core.config import INTRA_BMI, INTRA_HCC
+
+    results = sweep_intra(
+        sorted(MODEL_ONE), [INTRA_HCC, INTRA_BMI], scale=args.scale
+    )
+    print(rpt.render_fig10(results))
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    from repro.core.config import INTER_ADDR, INTER_ADDR_L
+
+    results = sweep_inter(
+        _PAPER_INTER_APPS, [INTER_ADDR, INTER_ADDR_L], scale=args.scale
+    )
+    print(rpt.render_fig11(results))
+    return 0
+
+
+def _cmd_fig12(args) -> int:
+    results = sweep_inter(
+        _PAPER_INTER_APPS, list(INTER_CONFIGS), scale=args.scale
+    )
+    print(rpt.render_fig12(results))
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    print(rpt.render_table1())
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    machine = (
+        inter_block_machine() if args.machine == "inter" else intra_block_machine()
+    )
+    print(rpt.render_table3(machine))
+    return 0
+
+
+def _cmd_storage(_args) -> int:
+    print(rpt.render_storage(storage_report()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the `repro` argument parser (one subcommand per artifact)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and configurations").set_defaults(
+        fn=_cmd_list
+    )
+
+    p_run = sub.add_parser("run", help="run one verified (workload, config)")
+    p_run.add_argument("workload")
+    p_run.add_argument("--config", default=None,
+                       help="Table II name (default: B+M+I or Addr+L)")
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument(
+        "--staleness",
+        action="store_true",
+        help="run with the stale-read detector (Model-1 workloads); "
+        "exit 1 if any read returned stale data",
+    )
+    p_run.set_defaults(fn=_cmd_run)
+
+    for name, fn, needs_scale in (
+        ("fig9", _cmd_fig9, True),
+        ("fig10", _cmd_fig10, True),
+        ("fig11", _cmd_fig11, True),
+        ("fig12", _cmd_fig12, True),
+        ("table1", _cmd_table1, False),
+        ("storage", _cmd_storage, False),
+    ):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        if needs_scale:
+            p.add_argument("--scale", type=float, default=1.0)
+        p.set_defaults(fn=fn)
+
+    p_t3 = sub.add_parser("table3", help="print the architecture table")
+    p_t3.add_argument("--machine", choices=("intra", "inter"), default="inter")
+    p_t3.set_defaults(fn=_cmd_table3)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) == "run" and args.config is None:
+        args.config = "B+M+I" if args.workload in MODEL_ONE else "Addr+L"
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""Protocol interface implemented by the incoherent and MESI hierarchies.
+
+Every method executes one operation against the hierarchy *state* and returns
+its latency in cycles (reads also return the loaded value).  The core model
+(:mod:`repro.core.cpu`) charges latencies and attributes them to Figure 9
+stall categories.
+
+The interface deliberately includes every WB/INV flavor: the hardware-
+coherent baseline accepts them as no-ops (counted, so tests can assert the
+HCC configuration never pays for them), matching the paper's HCC runs where
+no WB/INV instructions are inserted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.coherence.hierarchy import Hierarchy
+
+
+class Protocol(ABC):
+    """One chip-wide coherence policy over a :class:`Hierarchy`."""
+
+    name = "abstract"
+
+    def __init__(self, hierarchy: Hierarchy) -> None:
+        self.hier = hierarchy
+        self.stats = hierarchy.stats
+        self.machine = hierarchy.machine
+
+    # -- plain accesses -------------------------------------------------------
+
+    @abstractmethod
+    def read(self, core: int, byte_addr: int) -> tuple[int, Any]:
+        """Load one word; return (latency, value)."""
+
+    @abstractmethod
+    def write(self, core: int, byte_addr: int, value: Any) -> int:
+        """Store one word; return latency."""
+
+    # -- WB flavors ------------------------------------------------------------
+
+    @abstractmethod
+    def wb_range(self, core: int, byte_addr: int, length: int) -> int:
+        """WB: write back dirty words of lines overlapping the range."""
+
+    @abstractmethod
+    def wb_all(self, core: int, via_meb: bool = False) -> int:
+        """WB ALL: write back the whole L1 (via the MEB when armed)."""
+
+    @abstractmethod
+    def wb_cons(self, core: int, byte_addr: int, length: int, cons_tid: int) -> int:
+        """WB_CONS: level-adaptive write back toward consumer *cons_tid*."""
+
+    @abstractmethod
+    def wb_cons_all(self, core: int, cons_tid: int) -> int:
+        """WB_CONS ALL: whole-cache level-adaptive write back."""
+
+    @abstractmethod
+    def wb_l3(self, core: int, byte_addr: int, length: int) -> int:
+        """WB_L3: explicit-level write back to the L3 (through the L2)."""
+
+    @abstractmethod
+    def wb_all_l3(self, core: int) -> int:
+        """WB ALL to the L3: flush L1 then the whole block L2 downward."""
+
+    # -- INV flavors -------------------------------------------------------------
+
+    @abstractmethod
+    def inv_range(self, core: int, byte_addr: int, length: int) -> int:
+        """INV: self-invalidate overlapping lines (dirty words spill first)."""
+
+    @abstractmethod
+    def inv_all(self, core: int) -> int:
+        """INV ALL: self-invalidate the whole L1."""
+
+    @abstractmethod
+    def inv_prod(self, core: int, byte_addr: int, length: int, prod_tid: int) -> int:
+        """INV_PROD: level-adaptive invalidation against producer *prod_tid*."""
+
+    @abstractmethod
+    def inv_prod_all(self, core: int, prod_tid: int) -> int:
+        """INV_PROD ALL: whole-cache level-adaptive invalidation."""
+
+    @abstractmethod
+    def inv_l2(self, core: int, byte_addr: int, length: int) -> int:
+        """INV_L2: explicit-level invalidation from the L2 (and L1)."""
+
+    @abstractmethod
+    def inv_all_l2(self, core: int) -> int:
+        """INV ALL from both the L1 and the whole block L2."""
+
+    # -- epochs ---------------------------------------------------------------------
+
+    @abstractmethod
+    def epoch_begin(self, core: int, record_meb: bool, ieb_mode: bool) -> int:
+        """Start an epoch: arm the MEB recorder and/or the IEB checker."""
+
+    @abstractmethod
+    def epoch_end(self, core: int) -> int:
+        """End the epoch: disarm both entry buffers."""
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @abstractmethod
+    def finalize(self) -> None:
+        """Flush all cached state to memory (untimed; enables verification)."""

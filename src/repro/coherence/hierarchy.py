@@ -1,0 +1,178 @@
+"""Physical cache hierarchy shared by both protocols.
+
+Owns the cache arrays (per-core L1s, per-block banked L2s, chip-wide banked
+L3), the line↔bank mapping, and the latency/traffic helpers every protocol
+uses.  Policy (what a miss does, what WB/INV mean, directory state) lives in
+:mod:`repro.coherence.incoherent` and :mod:`repro.coherence.mesi`.
+
+Bank mapping: a line's home L2 bank within a block is ``line_addr mod
+cores_per_block`` (one bank per core, Table III); its home L3 bank is
+``line_addr mod num_l3_banks``.  Latency for a remote bank adds the mesh
+round trip on top of the local-bank round-trip time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import AddressError
+from repro.common.params import WORD_BYTES, MachineParams
+from repro.mem.cache import Cache
+from repro.mem.line import CacheLine
+from repro.mem.memory import MainMemory
+from repro.noc.mesh import Mesh
+from repro.sim.stats import MachineStats, TrafficCat
+
+
+class Hierarchy:
+    """Cache arrays plus geometry/latency/traffic plumbing for one chip."""
+
+    def __init__(self, machine: MachineParams, stats: MachineStats) -> None:
+        self.machine = machine
+        self.stats = stats
+        self.mesh = Mesh(machine)
+        self.memory = MainMemory()
+        self.line_bytes = machine.line_bytes
+        self.words_per_line = machine.words_per_line
+
+        self.l1s: list[Cache] = [
+            Cache(machine.l1, name=f"L1[{c}]") for c in range(machine.num_cores)
+        ]
+        # One logical L2 per block, banked one-bank-per-core for latency and
+        # capacity. We model each bank as its own Cache array.
+        self.l2_banks: list[list[Cache]] = [
+            [
+                Cache(machine.l2_bank, name=f"L2[b{b}][{k}]")
+                for k in range(machine.cores_per_block)
+            ]
+            for b in range(machine.num_blocks)
+        ]
+        self.l3_banks: list[Cache] = [
+            Cache(machine.l3_bank, name=f"L3[{k}]")
+            for k in range(machine.num_l3_banks)
+        ]
+
+    # -- address arithmetic ---------------------------------------------------
+
+    def line_of(self, byte_addr: int) -> int:
+        """Line address (addr // line size) of *byte_addr*."""
+        if byte_addr < 0:
+            raise AddressError(f"negative address {byte_addr}")
+        return byte_addr // self.line_bytes
+
+    def word_of(self, byte_addr: int) -> int:
+        """Word index of *byte_addr* within its line."""
+        return (byte_addr % self.line_bytes) // WORD_BYTES
+
+    def word_addr(self, byte_addr: int) -> int:
+        """Global word index of *byte_addr* (memory is word-addressed)."""
+        return byte_addr // WORD_BYTES
+
+    def lines_overlapping(self, byte_addr: int, length: int) -> range:
+        """Line addresses overlapping the byte range [addr, addr+length)."""
+        if length <= 0:
+            return range(0)
+        first = byte_addr // self.line_bytes
+        last = (byte_addr + length - 1) // self.line_bytes
+        return range(first, last + 1)
+
+    # -- geometry --------------------------------------------------------------
+
+    def block_of_core(self, core: int) -> int:
+        """Block that *core* belongs to (contiguous core ranges)."""
+        return core // self.machine.cores_per_block
+
+    def l2_bank_of(self, block: int, line_addr: int) -> Cache:
+        """Home L2 bank of *line_addr* within *block* (interleaved)."""
+        return self.l2_banks[block][line_addr % self.machine.cores_per_block]
+
+    def l2_bank_global_id(self, block: int, line_addr: int) -> int:
+        """Chip-wide bank id of the line's home L2 bank (mesh position)."""
+        local = line_addr % self.machine.cores_per_block
+        return block * self.machine.cores_per_block + local
+
+    def l3_bank_of(self, line_addr: int) -> Cache:
+        """Home L3 bank of *line_addr* (interleaved across 4 banks)."""
+        return self.l3_banks[line_addr % len(self.l3_banks)]
+
+    def l3_bank_id(self, line_addr: int) -> int:
+        """Index of the line's home L3 bank."""
+        return line_addr % len(self.l3_banks)
+
+    @property
+    def has_l3(self) -> bool:
+        """True on multi-block machines with a chip-wide L3."""
+        return bool(self.l3_banks)
+
+    def l2_lines_of_block(self, block: int):
+        """All resident lines across the block's L2 banks."""
+        for bank in self.l2_banks[block]:
+            yield from bank.lines()
+
+    def l2_lookup(self, block: int, line_addr: int, *, touch: bool = True):
+        """Lookup in the block's home L2 bank (None on miss)."""
+        return self.l2_bank_of(block, line_addr).lookup(line_addr, touch=touch)
+
+    # -- latency -----------------------------------------------------------------
+
+    def l1_latency(self) -> int:
+        """L1 hit round trip (Table III: 2 cycles)."""
+        return self.machine.l1.round_trip
+
+    def l2_latency(self, core: int, line_addr: int) -> int:
+        """Core→home-L2-bank round trip (local RT plus mesh hops)."""
+        bank_id = self.l2_bank_global_id(self.block_of_core(core), line_addr)
+        return self.machine.l2_bank.round_trip + 2 * self.mesh.core_to_l2(
+            core, bank_id
+        )
+
+    def l3_latency(self, core: int, line_addr: int) -> int:
+        """Core→home-L3-bank round trip (bank RT plus mesh hops)."""
+        assert self.has_l3, "machine has no L3"
+        bank = self.l3_bank_id(line_addr)
+        return self.machine.l3_bank.round_trip + 2 * self.mesh.core_to_l3(core, bank)
+
+    def mem_latency(self, core: int) -> int:
+        """Off-chip round trip from *core* via the nearest corner."""
+        tile = self.mesh.core_tile(core)
+        corner = self.mesh.nearest_mem_tile(tile)
+        return self.machine.mem_round_trip + 2 * self.mesh.latency(tile, corner)
+
+    def tag_walk_latency(self, cache: Cache) -> int:
+        """Cost of walking a cache's tag array (WB ALL / INV ALL)."""
+        per_cycle = max(1, self.machine.tag_walk_sets_per_cycle)
+        return -(-cache.params.num_sets // per_cycle)
+
+    # -- traffic -----------------------------------------------------------------
+
+    def count_line_transfer(self, cat: TrafficCat) -> None:
+        """Account one full-line data message (header + line payload)."""
+        self.stats.add_traffic(cat, self.mesh.data_flits(self.line_bytes))
+
+    def count_partial_transfer(self, cat: TrafficCat, nwords: int) -> None:
+        """Account a dirty-words-only data message."""
+        self.stats.add_traffic(cat, self.mesh.data_flits(nwords * WORD_BYTES))
+
+    def count_control(self, cat: TrafficCat, messages: int = 1) -> None:
+        """Account control messages (one flit each)."""
+        self.stats.add_traffic(cat, messages * self.mesh.control_flits())
+
+    # -- backing-store helpers -----------------------------------------------------
+
+    def mem_read_line(self, line_addr: int) -> list[Any]:
+        """Read a full line's words from main memory."""
+        return self.memory.read_line(line_addr, self.words_per_line)
+
+    def mem_write_back(self, line: CacheLine, mask: int | None = None) -> None:
+        """Merge a line's (dirty) words into main memory."""
+        use_mask = line.dirty_mask if mask is None else mask
+        if use_mask:
+            self.memory.write_line_words(
+                line.line_addr, self.words_per_line, line.data, use_mask
+            )
+
+    def mem_write_full_line(self, line: CacheLine) -> None:
+        full = (1 << self.words_per_line) - 1
+        self.memory.write_line_words(
+            line.line_addr, self.words_per_line, line.data, full
+        )

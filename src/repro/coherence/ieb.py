@@ -1,0 +1,58 @@
+"""Invalidated Entry Buffer (IEB) — Section IV-B.2.
+
+A tiny per-core buffer (4 entries of full line addresses) that makes INV ALL
+at epoch *entry* unnecessary: instead of invalidating everything up front,
+each read in the epoch is checked —
+
+* line address already in the IEB → already refreshed this epoch, no action;
+* read hits and the target word is *dirty* → written by this core this
+  epoch, cannot be stale, no action;
+* otherwise: the line address is inserted into the IEB (evicting the oldest
+  entry — FIFO), a resident copy is invalidated (first read in the epoch),
+  and the read fetches fresh data from the shared cache.
+
+The IEB holds exact information.  When it overflows, evicted lines will be
+re-invalidated on their next read — correct but slower.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class IEB:
+    """Fixed-capacity FIFO of line addresses that need no re-invalidation."""
+
+    def __init__(self, entries: int) -> None:
+        self.capacity = entries
+        self._addrs: OrderedDict[int, None] = OrderedDict()
+        self.armed = False
+        # Counters for ablation studies.
+        self.evictions = 0
+        self.redundant_invalidations = 0
+
+    def begin_epoch(self) -> None:
+        """Arm the IEB for a new epoch; starts empty."""
+        self._addrs.clear()
+        self.armed = True
+
+    def end_epoch(self) -> None:
+        self.armed = False
+        self._addrs.clear()
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._addrs
+
+    def insert(self, line_addr: int) -> None:
+        """Record that *line_addr* is now fresh; evict FIFO on overflow."""
+        if line_addr in self._addrs:
+            return
+        if self.capacity <= 0:
+            return
+        if len(self._addrs) >= self.capacity:
+            self._addrs.popitem(last=False)
+            self.evictions += 1
+        self._addrs[line_addr] = None
+
+    def __len__(self) -> int:
+        return len(self._addrs)

@@ -1,0 +1,61 @@
+"""Modified Entry Buffer (MEB) — Section IV-B.1.
+
+A small per-core hardware buffer that accumulates the *line IDs* (tag-array
+positions, not addresses — 9 bits for a 32 KB / 64 B-line L1) of lines
+written during the current epoch.  At epoch end, a ``WB ALL`` consults the
+MEB instead of walking the whole tag array:
+
+* entries may go stale (the written line was evicted and replaced by a line
+  never written) — stale entries are *not* removed; the WB simply skips
+  non-dirty lines;
+* on overflow the MEB is marked invalid and ``WB ALL`` falls back to the
+  full tag walk.
+"""
+
+from __future__ import annotations
+
+
+class MEB:
+    """Fixed-capacity set of line IDs with overflow fallback."""
+
+    def __init__(self, entries: int) -> None:
+        self.capacity = entries
+        self._ids: set[int] = set()
+        self.overflowed = False
+        self.recording = False
+        # Counters for ablation studies.
+        self.insertions = 0
+        self.overflow_events = 0
+
+    def begin_epoch(self) -> None:
+        """Arm recording; clears previous epoch's contents."""
+        self._ids.clear()
+        self.overflowed = False
+        self.recording = True
+
+    def end_epoch(self) -> None:
+        self.recording = False
+
+    def record_write(self, line_id: int) -> None:
+        """Called when a clean word is updated (write sets a new dirty bit)."""
+        if not self.recording or self.overflowed:
+            return
+        if line_id in self._ids:
+            return
+        if len(self._ids) >= self.capacity:
+            self.overflowed = True
+            self.overflow_events += 1
+            return
+        self._ids.add(line_id)
+        self.insertions += 1
+
+    @property
+    def usable(self) -> bool:
+        """True when WB ALL may use MEB contents instead of a tag walk."""
+        return self.recording and not self.overflowed
+
+    def line_ids(self) -> frozenset[int]:
+        return frozenset(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)

@@ -1,0 +1,529 @@
+"""Hardware cache coherence baseline (HCC): full-map directory MESI.
+
+Intra-block machines use a single-level full-map directory at the home L2
+bank (presence bits over the block's cores, Table: "full-mapped directory-
+based MESI protocol").  Inter-block machines use the paper's *hierarchical*
+full-map directory: the L3 directory tracks which *blocks* hold a line (4
+presence bits) and which block owns it dirty; each block's L2 directory
+tracks its cores (8 presence bits).
+
+The model is operation-level: directory state is exact, invalidations and
+data forwards are charged latency and counted as traffic (control flits in
+the *invalidation* category, data in *linefill*/*writeback*), and inclusion
+is enforced (an L2/L3 eviction recalls the copies above it).  WB/INV
+instructions are accepted as free no-ops — the HCC configurations insert
+none, and a counter lets tests assert that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.coherence.base import Protocol
+from repro.coherence.hierarchy import Hierarchy
+from repro.mem.line import CacheLine, MESIState
+from repro.sim.stats import TrafficCat
+
+
+@dataclass
+class L2DirEntry:
+    """Block-level directory state: which cores hold the line, who owns it."""
+
+    sharers: set[int] = field(default_factory=set)
+    owner: int | None = None  # core with the line in M
+
+
+@dataclass
+class L3DirEntry:
+    """Chip-level directory state: which blocks hold the line."""
+
+    blocks: set[int] = field(default_factory=set)
+    owner_block: int | None = None  # block holding the line dirty
+
+
+class MESIProtocol(Protocol):
+    """Directory MESI over the same physical hierarchy as the incoherent design."""
+
+    name = "hcc"
+
+    def __init__(self, hierarchy: Hierarchy) -> None:
+        super().__init__(hierarchy)
+        self._l2_dir: list[dict[int, L2DirEntry]] = [
+            {} for _ in range(self.machine.num_blocks)
+        ]
+        self._l3_dir: dict[int, L3DirEntry] = {}
+        #: WB/INV instructions swallowed (should stay 0 in proper HCC runs).
+        self.ignored_wbinv_ops = 0
+
+    # ------------------------------------------------------------------
+    # directory helpers
+    # ------------------------------------------------------------------
+
+    def _dir2(self, block: int, line_addr: int) -> L2DirEntry:
+        d = self._l2_dir[block]
+        entry = d.get(line_addr)
+        if entry is None:
+            entry = d[line_addr] = L2DirEntry()
+        return entry
+
+    def _dir3(self, line_addr: int) -> L3DirEntry:
+        entry = self._l3_dir.get(line_addr)
+        if entry is None:
+            entry = self._l3_dir[line_addr] = L3DirEntry()
+        return entry
+
+    # ------------------------------------------------------------------
+    # intra-block downgrade / invalidation
+    # ------------------------------------------------------------------
+
+    def _downgrade_owner(self, block: int, line_addr: int) -> int:
+        """Owner core M→S; dirty data written into the block's L2.
+
+        Returns the extra latency of the three-hop forward (0 if no owner).
+        """
+        entry = self._dir2(block, line_addr)
+        owner = entry.owner
+        if owner is None:
+            return 0
+        hier = self.hier
+        l1_line = hier.l1s[owner].lookup(line_addr, touch=False)
+        l2_line = self._l2_line(block, line_addr)
+        if l1_line is not None:
+            l2_line.data = list(l1_line.data)
+            l2_line.dirty_mask |= l1_line.dirty_mask
+            l1_line.state = MESIState.S
+            l1_line.clean()
+        hier.count_control(TrafficCat.INVALIDATION)  # fetch request to owner
+        hier.count_line_transfer(TrafficCat.WRITEBACK)  # data back to L2
+        self.stats.dir_forwards += 1
+        entry.owner = None
+        # Cache-to-cache forward: request to the owner, data straight to the
+        # requester (one-way legs, not a full round trip per leg).
+        bank_tile = hier.mesh.l2_bank_tile(
+            hier.l2_bank_global_id(block, line_addr)
+        )
+        owner_tile = hier.mesh.core_tile(owner)
+        return hier.mesh.latency(bank_tile, owner_tile)
+
+    def _invalidate_core(self, core: int, line_addr: int, block: int) -> None:
+        """Drop one core's L1 copy, pulling dirty data into the L2 first."""
+        hier = self.hier
+        line = hier.l1s[core].remove(line_addr)
+        entry = self._dir2(block, line_addr)
+        if line is not None and line.dirty:
+            l2_line = self._l2_line(block, line_addr)
+            l2_line.data = list(line.data)
+            l2_line.dirty_mask |= line.dirty_mask
+            hier.count_line_transfer(TrafficCat.WRITEBACK)
+        hier.count_control(TrafficCat.INVALIDATION, 2)  # inv + ack
+        entry.sharers.discard(core)
+        if entry.owner == core:
+            entry.owner = None
+        self.stats.dir_invalidations += 1
+
+    def _invalidate_block_sharers(
+        self, block: int, line_addr: int, *, keep: int | None
+    ) -> int:
+        """Invalidate every L1 copy in *block* except core *keep*.
+
+        Returns the latency of the farthest invalidation round trip.
+        """
+        entry = self._dir2(block, line_addr)
+        targets = [c for c in entry.sharers | {entry.owner} - {None} if c != keep]
+        if not targets:
+            return 0
+        hier = self.hier
+        bank_tile = hier.mesh.l2_bank_tile(hier.l2_bank_global_id(block, line_addr))
+        worst = 0
+        for core in targets:
+            self._invalidate_core(core, line_addr, block)
+            worst = max(
+                worst,
+                2 * hier.mesh.latency(bank_tile, hier.mesh.core_tile(core)),
+            )
+        return worst
+
+    # ------------------------------------------------------------------
+    # L2 / L3 fills with inclusion
+    # ------------------------------------------------------------------
+
+    def _l2_line(self, block: int, line_addr: int) -> CacheLine:
+        """The block's L2 copy, filling from L3/memory if absent."""
+        hier = self.hier
+        bank = hier.l2_bank_of(block, line_addr)
+        line = bank.lookup(line_addr)
+        if line is not None:
+            return line
+        if hier.has_l3:
+            l3_line = self._l3_line(line_addr)
+            data = list(l3_line.data)
+            hier.count_line_transfer(TrafficCat.LINEFILL)
+        else:
+            data = hier.mem_read_line(line_addr)
+            hier.count_line_transfer(TrafficCat.MEMORY)
+        line = CacheLine(line_addr, data)
+        victim = bank.insert(line)
+        if victim is not None:
+            self._evict_l2_victim(block, victim)
+        self._dir3(line_addr).blocks.add(block)
+        return line
+
+    def _l3_line(self, line_addr: int) -> CacheLine:
+        hier = self.hier
+        bank = hier.l3_bank_of(line_addr)
+        line = bank.lookup(line_addr)
+        if line is not None:
+            return line
+        data = hier.mem_read_line(line_addr)
+        line = CacheLine(line_addr, data)
+        victim = bank.insert(line)
+        if victim is not None:
+            self._evict_l3_victim(victim)
+        hier.count_line_transfer(TrafficCat.MEMORY)
+        return line
+
+    def _evict_l2_victim(self, block: int, victim: CacheLine) -> None:
+        """Inclusion recall: L2 eviction drops every L1 copy in the block."""
+        hier = self.hier
+        la = victim.line_addr
+        entry = self._l2_dir[block].pop(la, None)
+        if entry is not None:
+            for core in list(entry.sharers | ({entry.owner} - {None})):
+                line = hier.l1s[core].remove(la)
+                if line is not None and line.dirty:
+                    victim.data = list(line.data)
+                    victim.dirty_mask |= line.dirty_mask
+                    hier.count_line_transfer(TrafficCat.WRITEBACK)
+                hier.count_control(TrafficCat.INVALIDATION, 2)
+        if victim.dirty:
+            if hier.has_l3:
+                l3_line = self._l3_line(la)
+                l3_line.data = list(victim.data)
+                l3_line.dirty_mask |= victim.dirty_mask
+                hier.count_line_transfer(TrafficCat.WRITEBACK)
+            else:
+                hier.mem_write_back(victim)
+                hier.count_line_transfer(TrafficCat.MEMORY)
+        d3 = self._l3_dir.get(la)
+        if d3 is not None:
+            d3.blocks.discard(block)
+            if d3.owner_block == block:
+                d3.owner_block = None
+
+    def _evict_l3_victim(self, victim: CacheLine) -> None:
+        """Inclusion recall at chip level: drop the line from every block."""
+        la = victim.line_addr
+        entry = self._l3_dir.pop(la, None)
+        if entry is not None:
+            for block in list(entry.blocks):
+                bank = self.hier.l2_bank_of(block, la)
+                l2_victim = bank.remove(la)
+                if l2_victim is not None:
+                    self._evict_l2_victim(block, l2_victim)
+                    if l2_victim.dirty:
+                        victim.data = list(l2_victim.data)
+                        victim.dirty_mask |= l2_victim.dirty_mask
+        if victim.dirty:
+            self.hier.mem_write_back(victim)
+            self.hier.count_line_transfer(TrafficCat.MEMORY)
+
+    # ------------------------------------------------------------------
+    # chip-level (inter-block) coherence
+    # ------------------------------------------------------------------
+
+    def _acquire_block_copy(
+        self, core: int, block: int, line_addr: int, *, exclusive: bool
+    ) -> tuple[int, CacheLine]:
+        """Give *block* a coherent L2 copy; handle remote-block state.
+
+        Returns (latency beyond the local L2 round trip, the L2 line).
+        """
+        hier = self.hier
+        lat = 0
+        if hier.has_l3:
+            d3 = self._dir3(line_addr)
+            remote_owner = (
+                d3.owner_block
+                if d3.owner_block is not None and d3.owner_block != block
+                else None
+            )
+            if remote_owner is not None:
+                # Remote block holds the line dirty: downgrade it through L3.
+                lat += hier.l3_latency(core, line_addr)
+                lat += self._downgrade_owner(remote_owner, line_addr)
+                remote_l2 = hier.l2_lookup(remote_owner, line_addr, touch=False)
+                if remote_l2 is not None and remote_l2.dirty:
+                    l3_line = self._l3_line(line_addr)
+                    l3_line.data = list(remote_l2.data)
+                    l3_line.dirty_mask |= remote_l2.dirty_mask
+                    remote_l2.clean()
+                    hier.count_line_transfer(TrafficCat.WRITEBACK)
+                d3.owner_block = None
+            if exclusive:
+                for other in [b for b in self._dir3(line_addr).blocks if b != block]:
+                    inv_lat = self._invalidate_block_sharers(
+                        other, line_addr, keep=None
+                    )
+                    bank = hier.l2_bank_of(other, line_addr)
+                    l2_victim = bank.remove(line_addr)
+                    if l2_victim is not None and l2_victim.dirty:
+                        l3_line = self._l3_line(line_addr)
+                        l3_line.data = list(l2_victim.data)
+                        l3_line.dirty_mask |= l2_victim.dirty_mask
+                        hier.count_line_transfer(TrafficCat.WRITEBACK)
+                    self._l2_dir[other].pop(line_addr, None)
+                    self._dir3(line_addr).blocks.discard(other)
+                    hier.count_control(TrafficCat.INVALIDATION, 2)
+                    lat = max(lat, hier.l3_latency(core, line_addr) + inv_lat)
+                d3 = self._dir3(line_addr)
+                d3.owner_block = block
+        block_bank = hier.l2_bank_of(block, line_addr)
+        resident = block_bank.lookup(line_addr) is not None
+        l2_line = self._l2_line(block, line_addr)
+        if not resident:
+            # The fill above came from L3 (charged) or memory.
+            if hier.has_l3:
+                lat += hier.l3_latency(core, line_addr)
+            else:
+                lat += hier.mem_latency(core)
+        return lat, l2_line
+
+    # ------------------------------------------------------------------
+    # plain accesses
+    # ------------------------------------------------------------------
+
+    def read(self, core: int, byte_addr: int) -> tuple[int, Any]:
+        hier = self.hier
+        line_addr = hier.line_of(byte_addr)
+        word = hier.word_of(byte_addr)
+        l1 = hier.l1s[core]
+        line = l1.lookup(line_addr)
+        stats = self.stats.per_core[core]
+        if line is not None and line.state != MESIState.I:
+            stats.l1_hits += 1
+            return self._overlapped(hier.l1_latency()), line.data[word]
+
+        stats.l1_misses += 1
+        block = hier.block_of_core(core)
+        lat = hier.l2_latency(core, line_addr)
+        extra, l2_line = self._acquire_block_copy(
+            core, block, line_addr, exclusive=False
+        )
+        lat += extra
+        # Intra-block: a dirty peer forwards its copy.
+        lat += self._downgrade_owner(block, line_addr)
+        self._demote_exclusive_peers(core, block, line_addr)
+        l2_line = self._l2_line(block, line_addr)
+        entry = self._dir2(block, line_addr)
+        state = (
+            MESIState.E
+            if not entry.sharers and not self._other_block_has(block, line_addr)
+            else MESIState.S
+        )
+        entry.sharers.add(core)
+        new_line = CacheLine(line_addr, list(l2_line.data), state=state)
+        victim = l1.insert(new_line)
+        if victim is not None:
+            self._l1_victim(core, block, victim)
+        hier.count_line_transfer(TrafficCat.LINEFILL)
+        return lat, new_line.data[word]
+
+    def write(self, core: int, byte_addr: int, value: Any) -> int:
+        hier = self.hier
+        line_addr = hier.line_of(byte_addr)
+        word = hier.word_of(byte_addr)
+        l1 = hier.l1s[core]
+        line = l1.lookup(line_addr)
+        stats = self.stats.per_core[core]
+        block = hier.block_of_core(core)
+
+        if line is not None and line.state in (MESIState.M, MESIState.E):
+            if line.state == MESIState.E:
+                line.state = MESIState.M
+                self._dir2(block, line_addr).owner = core
+                d3 = self._l3_dir.get(line_addr)
+                if d3 is not None:
+                    d3.owner_block = block
+            line.data[word] = value
+            line.mark_dirty(word)
+            stats.l1_hits += 1
+            return self._overlapped(hier.l1_latency())
+
+        if line is not None and line.state == MESIState.S:  # noqa: SIM114
+            # Upgrade: invalidate other sharers through the directory.
+            stats.l1_hits += 1
+            lat = hier.l2_latency(core, line_addr)
+            lat += self._claim_exclusive(core, block, line_addr)
+            line.state = MESIState.M
+            line.data[word] = value
+            line.mark_dirty(word)
+            entry = self._dir2(block, line_addr)
+            entry.sharers = {core}
+            entry.owner = core
+            return self._overlapped(lat)
+
+        # Write miss: read-for-ownership.
+        stats.l1_misses += 1
+        lat = hier.l2_latency(core, line_addr)
+        extra, _ = self._acquire_block_copy(core, block, line_addr, exclusive=True)
+        lat += extra
+        lat += self._downgrade_owner(block, line_addr)
+        lat += self._invalidate_block_sharers(block, line_addr, keep=core)
+        l2_line = self._l2_line(block, line_addr)
+        new_line = CacheLine(line_addr, list(l2_line.data), state=MESIState.M)
+        new_line.data[word] = value
+        new_line.mark_dirty(word)
+        victim = l1.insert(new_line)
+        if victim is not None:
+            self._l1_victim(core, block, victim)
+        entry = self._dir2(block, line_addr)
+        entry.sharers = {core}
+        entry.owner = core
+        if hier.has_l3:
+            self._dir3(line_addr).owner_block = block
+        hier.count_line_transfer(TrafficCat.LINEFILL)
+        return self._overlapped(lat)
+
+    def _demote_exclusive_peers(self, core: int, block: int, line_addr: int) -> None:
+        """A new reader demotes every other E copy chip-wide to S.
+
+        Without this, an E holder would silently upgrade to M while the new
+        reader keeps a stale S copy.  The directory knows exactly who holds
+        each line (full map), so the demotion is a state fix-up with no
+        extra messages beyond the fill already charged.
+        """
+        blocks = (
+            self._dir3(line_addr).blocks
+            if self.hier.has_l3
+            else range(self.machine.num_blocks)
+        )
+        for b in list(blocks):
+            entry = self._l2_dir[b].get(line_addr)
+            if entry is None:
+                continue
+            for sharer in entry.sharers:
+                if sharer == core:
+                    continue
+                line = self.hier.l1s[sharer].lookup(line_addr, touch=False)
+                if line is not None and line.state == MESIState.E:
+                    line.state = MESIState.S
+
+    def _other_block_has(self, block: int, line_addr: int) -> bool:
+        """Does any other block hold a copy (L2 or L1)?  Gates E grants."""
+        if not self.hier.has_l3:
+            return False
+        d3 = self._l3_dir.get(line_addr)
+        if d3 is None:
+            return False
+        return any(b != block for b in d3.blocks)
+
+    def _claim_exclusive(self, core: int, block: int, line_addr: int) -> int:
+        """Invalidate every other copy chip-wide; return the added latency."""
+        lat = 0
+        if self.hier.has_l3:
+            extra, _ = self._acquire_block_copy(
+                core, block, line_addr, exclusive=True
+            )
+            lat += extra
+        lat += self._invalidate_block_sharers(block, line_addr, keep=core)
+        return lat
+
+    def _l1_victim(self, core: int, block: int, victim: CacheLine) -> None:
+        """Handle an L1 replacement: M data goes to L2, presence updated."""
+        hier = self.hier
+        entry = self._dir2(block, victim.line_addr)
+        entry.sharers.discard(core)
+        if entry.owner == core:
+            entry.owner = None
+        if victim.dirty:
+            l2_line = self._l2_line(block, victim.line_addr)
+            l2_line.data = list(victim.data)
+            l2_line.dirty_mask |= victim.dirty_mask
+            hier.count_line_transfer(TrafficCat.WRITEBACK)
+        else:
+            hier.count_control(TrafficCat.INVALIDATION)  # replacement hint
+
+    def _overlapped(self, latency: int) -> int:
+        """ILP / write-buffer latency hiding for L1 hits and stores."""
+        overlap = self.machine.core.overlap
+        return max(1, round(latency * (1.0 - overlap)))
+
+    # ------------------------------------------------------------------
+    # WB/INV flavors: free no-ops under hardware coherence
+    # ------------------------------------------------------------------
+
+    def _ignore(self) -> int:
+        self.ignored_wbinv_ops += 1
+        return 0
+
+    def wb_range(self, core: int, byte_addr: int, length: int) -> int:
+        return self._ignore()
+
+    def wb_all(self, core: int, via_meb: bool = False) -> int:
+        return self._ignore()
+
+    def wb_cons(self, core: int, byte_addr: int, length: int, cons_tid: int) -> int:
+        return self._ignore()
+
+    def wb_cons_all(self, core: int, cons_tid: int) -> int:
+        return self._ignore()
+
+    def wb_l3(self, core: int, byte_addr: int, length: int) -> int:
+        return self._ignore()
+
+    def wb_all_l3(self, core: int) -> int:
+        return self._ignore()
+
+    def inv_range(self, core: int, byte_addr: int, length: int) -> int:
+        return self._ignore()
+
+    def inv_all(self, core: int) -> int:
+        return self._ignore()
+
+    def inv_prod(self, core: int, byte_addr: int, length: int, prod_tid: int) -> int:
+        return self._ignore()
+
+    def inv_prod_all(self, core: int, prod_tid: int) -> int:
+        return self._ignore()
+
+    def inv_l2(self, core: int, byte_addr: int, length: int) -> int:
+        return self._ignore()
+
+    def inv_all_l2(self, core: int) -> int:
+        return self._ignore()
+
+    def epoch_begin(self, core: int, record_meb: bool, ieb_mode: bool) -> int:
+        return 0
+
+    def epoch_end(self, core: int) -> int:
+        return 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        hier = self.hier
+        for core, l1 in enumerate(hier.l1s):
+            block = hier.block_of_core(core)
+            for line in list(l1.lines()):
+                if line.dirty:
+                    l2_line = self._l2_line(block, line.line_addr)
+                    l2_line.data = list(line.data)
+                    l2_line.dirty_mask |= line.dirty_mask
+                    line.clean()
+        for block in range(self.machine.num_blocks):
+            for bank in hier.l2_banks[block]:
+                for line in bank.dirty_lines():
+                    if hier.has_l3:
+                        l3_line = self._l3_line(line.line_addr)
+                        l3_line.data = list(line.data)
+                        l3_line.dirty_mask |= line.dirty_mask
+                    else:
+                        hier.mem_write_back(line)
+                    line.clean()
+        for bank in hier.l3_banks:
+            for line in bank.dirty_lines():
+                hier.mem_write_back(line)
+                line.clean()

@@ -1,0 +1,54 @@
+"""ThreadMap — the per-L2 hardware table behind level-adaptive WB/INV.
+
+Section V-B: each block's L2 controller holds the IDs of the threads mapped
+onto that block.  ``WB_CONS(addr, ConsID)`` / ``INV_PROD(addr, ProdID)``
+consult the *local* block's table: when the named peer thread runs in the
+same block, the operation stays local (L1↔L2); otherwise it reaches the
+global level (L3 for WB, L2 invalidation for INV).  The table is filled by
+the runtime at spawn time and threads never migrate.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.noc.placement import Placement
+
+
+class ThreadMap:
+    """One block's table of resident thread IDs."""
+
+    def __init__(self, block: int, thread_ids: set[int]) -> None:
+        self.block = block
+        self._threads = frozenset(thread_ids)
+
+    def is_local(self, tid: int) -> bool:
+        return tid in self._threads
+
+    @property
+    def thread_ids(self) -> frozenset[int]:
+        return self._threads
+
+    def __len__(self) -> int:
+        return len(self._threads)
+
+
+class ThreadMapTable:
+    """All blocks' ThreadMaps, built from a placement at spawn time."""
+
+    def __init__(self, placement: Placement) -> None:
+        self.placement = placement
+        machine = placement.machine
+        self._maps = [
+            ThreadMap(b, set(placement.threads_in_block(b)))
+            for b in range(machine.num_blocks)
+        ]
+
+    def for_block(self, block: int) -> ThreadMap:
+        if not 0 <= block < len(self._maps):
+            raise ConfigError(f"block {block} out of range")
+        return self._maps[block]
+
+    def peer_is_local(self, my_core: int, peer_tid: int) -> bool:
+        """Level-adaptive resolution: does *peer_tid* run in *my_core*'s block?"""
+        block = self.placement.block_of_core(my_core)
+        return self._maps[block].is_local(peer_tid)

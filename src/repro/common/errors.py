@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching programming mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An architecture or experiment configuration is invalid."""
+
+
+class AddressError(ReproError):
+    """An address is out of range, misaligned, or maps to no allocation."""
+
+
+class ProtocolError(ReproError):
+    """A coherence-protocol invariant was violated (internal bug detector)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All cores are blocked and no events are pending."""
+
+
+class SyncError(ReproError):
+    """Misuse of a synchronization primitive (e.g. releasing an unheld lock)."""
+
+
+class CompilerError(ReproError):
+    """The Model-2 loop-nest analysis was given an unsupported program."""
+
+
+class OrderingError(ReproError):
+    """A forbidden instruction reordering (Section III-C) was attempted."""
+
+
+class MPIError(ReproError):
+    """Misuse of the on-chip message-passing layer."""

@@ -1,0 +1,233 @@
+"""Architecture parameters (paper Table III).
+
+All latencies are in core cycles and all sizes in bytes.  The paper models two
+machines:
+
+* **Intra-block** experiments: a single block of 16 out-of-order 4-issue cores,
+  32 KB 4-way private L1 (2-cycle round trip), a shared L2 of one 128 KB 8-way
+  bank per core (11-cycle local round trip), a 2D mesh at 4 cycles/hop with
+  128-bit links, and off-chip memory at 150-cycle round trip.
+* **Inter-block** experiments: 4 blocks of 8 cores each, plus a shared 16 MB L3
+  in 4 banks (20-cycle local round trip).
+
+Only parameters the operation-level simulator consumes are modeled; issue width
+and ROB size appear as the ``overlap`` factor documented on
+:class:`CoreParams`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+#: Bytes per machine word; per-word dirty bits track this granularity.
+WORD_BYTES = 4
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ConfigError(msg)
+
+
+def is_pow2(n: int) -> bool:
+    """Return True when *n* is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and latency of one cache (or one bank of a banked cache)."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int
+    round_trip: int  # cycles, load-to-use for a local hit
+
+    def __post_init__(self) -> None:
+        _require(is_pow2(self.line_bytes), "line size must be a power of two")
+        _require(self.line_bytes % WORD_BYTES == 0, "line must hold whole words")
+        _require(self.assoc >= 1, "associativity must be >= 1")
+        _require(
+            self.size_bytes % (self.line_bytes * self.assoc) == 0,
+            "cache size must be a whole number of sets",
+        )
+        _require(is_pow2(self.num_sets), "number of sets must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.assoc)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def words_per_line(self) -> int:
+        return self.line_bytes // WORD_BYTES
+
+    @property
+    def line_id_bits(self) -> int:
+        """Bits needed to name a resident line (used to size MEB entries)."""
+        return max(1, math.ceil(math.log2(self.num_lines)))
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Core model parameters.
+
+    The paper simulates 4-issue out-of-order cores with a 176-entry ROB.  Our
+    substitute is an in-order operation-level core; ``overlap`` is the fraction
+    of a cache-hit latency hidden by instruction-level parallelism (0 hides
+    nothing, 1 hides hits entirely).  Misses and WB/INV stalls are never
+    hidden, matching the paper's observation that "the latency of WB and INV
+    instructions is often hard to hide".
+    """
+
+    issue_width: int = 4
+    rob_entries: int = 176
+    overlap: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require(self.issue_width >= 1, "issue width must be >= 1")
+        _require(0.0 <= self.overlap <= 1.0, "overlap must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class MeshParams:
+    """2D mesh interconnect: 4 cycles/hop, 128-bit (16-byte) links."""
+
+    cycles_per_hop: int = 4
+    link_bytes: int = 16  # 128-bit flits
+
+    def __post_init__(self) -> None:
+        _require(self.cycles_per_hop >= 0, "hop latency must be >= 0")
+        _require(self.link_bytes > 0, "flit width must be positive")
+
+    def flits(self, payload_bytes: int) -> int:
+        """Number of flits to carry *payload_bytes* (header rides flit 0)."""
+        return max(1, math.ceil(payload_bytes / self.link_bytes))
+
+
+@dataclass(frozen=True)
+class BufferParams:
+    """Sizes of the per-core Entry Buffers (Section IV-B, Table III)."""
+
+    meb_entries: int = 16
+    ieb_entries: int = 4
+
+    def __post_init__(self) -> None:
+        _require(self.meb_entries >= 0, "MEB entries must be >= 0")
+        _require(self.ieb_entries >= 0, "IEB entries must be >= 0")
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Full machine description: blocks of cores plus the cache hierarchy.
+
+    ``l3`` is ``None`` for single-block (intra-block) machines; the shared L2
+    is then the last-level on-chip cache and misses go straight to memory.
+    """
+
+    num_blocks: int
+    cores_per_block: int
+    core: CoreParams
+    l1: CacheParams
+    l2_bank: CacheParams  # one bank per core
+    l3_bank: CacheParams | None  # one bank per L3 bank position; None intra-block
+    num_l3_banks: int
+    mesh: MeshParams
+    buffers: BufferParams
+    mem_round_trip: int = 150
+    # WB ALL / INV ALL walk the tag array even when nothing is dirty; the
+    # walker checks `tag_walk_sets_per_cycle` sets per cycle (all ways of a
+    # set are read in parallel, and per-set valid/dirty summary bits let the
+    # walker skip ahead).
+    tag_walk_sets_per_cycle: int = 4
+
+    def __post_init__(self) -> None:
+        _require(self.num_blocks >= 1, "need at least one block")
+        _require(self.cores_per_block >= 1, "need at least one core per block")
+        if self.l3_bank is None:
+            _require(self.num_l3_banks == 0, "intra-block machine has no L3 banks")
+        else:
+            _require(self.num_l3_banks >= 1, "need at least one L3 bank")
+            _require(
+                self.l3_bank.line_bytes == self.l1.line_bytes,
+                "L1/L3 line sizes must match",
+            )
+        _require(
+            self.l2_bank.line_bytes == self.l1.line_bytes,
+            "L1/L2 line sizes must match",
+        )
+        _require(self.mem_round_trip >= 0, "memory round trip must be >= 0")
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_blocks * self.cores_per_block
+
+    @property
+    def line_bytes(self) -> int:
+        return self.l1.line_bytes
+
+    @property
+    def words_per_line(self) -> int:
+        return self.l1.words_per_line
+
+    @property
+    def num_l2_banks(self) -> int:
+        """The shared L2 has one bank per core (Table III)."""
+        return self.num_cores
+
+    @property
+    def mesh_dim(self) -> int:
+        """Side of the square mesh that tiles all cores."""
+        return math.ceil(math.sqrt(self.num_cores))
+
+
+def intra_block_machine(
+    num_cores: int = 16,
+    *,
+    overlap: float = 0.5,
+    buffers: BufferParams | None = None,
+) -> MachineParams:
+    """The intra-block machine of Table III: one block of 16 cores."""
+    return MachineParams(
+        num_blocks=1,
+        cores_per_block=num_cores,
+        core=CoreParams(overlap=overlap),
+        l1=CacheParams(size_bytes=32 * 1024, assoc=4, line_bytes=64, round_trip=2),
+        l2_bank=CacheParams(
+            size_bytes=128 * 1024, assoc=8, line_bytes=64, round_trip=11
+        ),
+        l3_bank=None,
+        num_l3_banks=0,
+        mesh=MeshParams(),
+        buffers=buffers if buffers is not None else BufferParams(),
+    )
+
+
+def inter_block_machine(
+    num_blocks: int = 4,
+    cores_per_block: int = 8,
+    *,
+    overlap: float = 0.5,
+    buffers: BufferParams | None = None,
+) -> MachineParams:
+    """The inter-block machine of Table III: 4 blocks of 8 cores plus L3."""
+    return MachineParams(
+        num_blocks=num_blocks,
+        cores_per_block=cores_per_block,
+        core=CoreParams(overlap=overlap),
+        l1=CacheParams(size_bytes=32 * 1024, assoc=4, line_bytes=64, round_trip=2),
+        l2_bank=CacheParams(
+            size_bytes=128 * 1024, assoc=8, line_bytes=64, round_trip=11
+        ),
+        l3_bank=CacheParams(
+            size_bytes=4 * 1024 * 1024, assoc=8, line_bytes=64, round_trip=20
+        ),
+        num_l3_banks=4,
+        mesh=MeshParams(),
+        buffers=buffers if buffers is not None else BufferParams(),
+    )

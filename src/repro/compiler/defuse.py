@@ -1,0 +1,376 @@
+"""DEF-USE analysis: producer→consumer extraction (Section V-A.1).
+
+For every pair of CFG-reachable statements (P producer, C consumer) sharing
+an array, the analysis compares the element sets each thread produces and
+consumes under static chunk scheduling, and emits:
+
+* ``WB_CONS`` directives at P's end — (interval, consumer-thread set); a
+  single WB serves multiple consumers (the executor lowers a multi-consumer
+  directive to one global ``WB_L3``, matching "single producer-multiple
+  consumers with a single WB");
+* ``INV_PROD`` directives at C's start — (interval, producer tid), one per
+  producing peer;
+* *irregular* reads (indirect indices) that static analysis cannot resolve:
+  these are routed to the inspector (Section V-A.2), and their producer
+  conservatively writes back its whole produced range globally ("to reduce
+  the complexity of the analysis, we write everything to L3");
+* reductions: a :class:`~repro.compiler.ir.ReduceStmt` has no producer→
+  consumer ordering, so its result is instrumented globally (``peer=None``)
+  — this is why EP and IS cannot benefit from level-adaptive instructions
+  (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import ir
+from repro.compiler.cfg import CFG
+from repro.compiler.schedule import all_chunks, overlap
+from repro.common.errors import CompilerError
+
+Interval = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class WbDirective:
+    """Write back array[lo:hi] at the producer epoch's end.
+
+    ``cons`` is the consumer-thread set, or ``None`` when consumers are
+    unknown (irregular / reduction) — lowered globally.
+    """
+
+    array: str
+    lo: int
+    hi: int
+    cons: frozenset[int] | None
+
+
+@dataclass(frozen=True)
+class InvDirective:
+    """Invalidate array[lo:hi] at the consumer epoch's start.
+
+    ``prod`` is the producing thread, or ``None`` when unknown (global).
+    """
+
+    array: str
+    lo: int
+    hi: int
+    prod: int | None
+
+
+@dataclass(frozen=True)
+class IrregularRead:
+    """An indirect read resolved by the runtime inspector.
+
+    ``positions`` are the (coeff, offset) pairs of every indirect ref to the
+    same (data array, index array) in the consumer loop — the inspector
+    enumerates ``index_array[coeff*i + offset]`` for each consumer iteration
+    *i*.  The producer map tells the inspector which thread wrote each data
+    element: iteration ``e - producer_offset`` of a ParallelFor producer, or
+    always thread 0 for a SerialStmt producer.
+    """
+
+    consumer_sid: int
+    array: str  # the data array read through the indirection
+    index_array: str
+    positions: tuple[tuple[int, int], ...]
+    producer_sid: int
+    producer_serial: bool  # True: SerialStmt producer (writer is thread 0)
+    producer_length: int  # loop length of the producing ParallelFor
+    producer_offset: int  # lhs affine offset: element e ← iteration e - offset
+
+
+@dataclass
+class InstrumentationPlan:
+    """Everything the executor needs to lower Addr / Addr+L instrumentation."""
+
+    nthreads: int
+    #: sid -> tid -> directives (sorted, coalesced)
+    wb_after: dict[int, dict[int, list[WbDirective]]] = field(default_factory=dict)
+    inv_before: dict[int, dict[int, list[InvDirective]]] = field(default_factory=dict)
+    #: consumer sid -> irregular reads needing the inspector
+    irregular: dict[int, list[IrregularRead]] = field(default_factory=dict)
+
+    def add_wb(self, sid: int, tid: int, d: WbDirective) -> None:
+        self.wb_after.setdefault(sid, {}).setdefault(tid, []).append(d)
+
+    def add_inv(self, sid: int, tid: int, d: InvDirective) -> None:
+        self.inv_before.setdefault(sid, {}).setdefault(tid, []).append(d)
+
+    def wbs(self, sid: int, tid: int) -> list[WbDirective]:
+        return self.wb_after.get(sid, {}).get(tid, [])
+
+    def invs(self, sid: int, tid: int) -> list[InvDirective]:
+        return self.inv_before.get(sid, {}).get(tid, [])
+
+
+# ---------------------------------------------------------------------------
+# per-statement produced / consumed element sets
+# ---------------------------------------------------------------------------
+
+
+def produced_intervals(
+    stmt, array: str, nthreads: int
+) -> list[tuple[int, Interval]]:
+    """(tid, element interval) pairs that *stmt* writes into *array*."""
+    out: list[tuple[int, Interval]] = []
+    if isinstance(stmt, ir.ParallelFor):
+        chunks = all_chunks(stmt.length, nthreads)
+        for assign in stmt.body:
+            if assign.lhs.array != array:
+                continue
+            idx = assign.lhs.index
+            if isinstance(idx, ir.Affine):
+                for tid, (lo, hi) in enumerate(chunks):
+                    if lo < hi:
+                        out.append((tid, idx.image(lo, hi)))
+            elif isinstance(idx, ir.Fixed):
+                for tid, (lo, hi) in enumerate(chunks):
+                    if lo < hi:
+                        out.append((tid, (idx.index, idx.index + 1)))
+    elif isinstance(stmt, ir.SerialStmt):
+        for w in stmt.writes:
+            if w.array == array:
+                out.append((0, (w.lo, w.hi)))
+    elif isinstance(stmt, (ir.ReduceStmt, ir.HierReduceStmt)):
+        if stmt.result == array:
+            # Unordered reduction: every thread may write; producer unknown.
+            out.append((-1, (0, stmt.width)))
+    return out
+
+
+def consumed_intervals(
+    stmt, array: str, nthreads: int
+) -> list[tuple[int, Interval]]:
+    """(tid, element interval) pairs that *stmt* reads from *array*."""
+    out: list[tuple[int, Interval]] = []
+    if isinstance(stmt, ir.ParallelFor):
+        chunks = all_chunks(stmt.length, nthreads)
+        for assign in stmt.body:
+            for ref in assign.rhs:
+                if ref.is_indirect:
+                    # The *index array* itself is read affinely.
+                    idx = ref.index
+                    if idx.index_array != array:
+                        continue
+                    aff = ir.Affine(idx.coeff, idx.offset)
+                    for tid, (lo, hi) in enumerate(chunks):
+                        if lo < hi:
+                            out.append((tid, aff.image(lo, hi)))
+                    continue
+                if ref.array != array:
+                    continue
+                idx = ref.index
+                for tid, (lo, hi) in enumerate(chunks):
+                    if lo >= hi:
+                        continue
+                    if isinstance(idx, ir.Affine):
+                        out.append((tid, idx.image(lo, hi)))
+                    elif isinstance(idx, ir.Fixed):
+                        out.append((tid, (idx.index, idx.index + 1)))
+    elif isinstance(stmt, ir.SerialStmt):
+        for r in stmt.reads:
+            if r.array == array:
+                out.append((0, (r.lo, r.hi)))
+    elif isinstance(stmt, (ir.ReduceStmt, ir.HierReduceStmt)):
+        chunks = None
+        for r in stmt.inputs:
+            if r.array != array:
+                continue
+            if chunks is None:
+                chunks = all_chunks(r.hi - r.lo, nthreads)
+            for tid, (lo, hi) in enumerate(chunks):
+                if lo < hi:
+                    out.append((tid, (r.lo + lo, r.lo + hi)))
+        # The critical-section combine reads the result; that communication
+        # is instrumented by the executor inside the reduction itself.
+    return out
+
+
+def _irregular_reads(stmt) -> list[ir.Ref]:
+    if not isinstance(stmt, ir.ParallelFor):
+        return []
+    return [r for a in stmt.body for r in a.rhs if r.is_indirect]
+
+
+# ---------------------------------------------------------------------------
+# analysis driver
+# ---------------------------------------------------------------------------
+
+
+def _coalesce_wb(dirs: list[WbDirective]) -> list[WbDirective]:
+    """Merge overlapping/adjacent same-array WBs, unioning consumer sets."""
+    out: list[WbDirective] = []
+    for d in sorted(dirs, key=lambda d: (d.array, d.lo, d.hi)):
+        if out and out[-1].array == d.array and d.lo <= out[-1].hi:
+            prev = out[-1]
+            cons = (
+                None
+                if prev.cons is None or d.cons is None
+                else prev.cons | d.cons
+            )
+            out[-1] = WbDirective(d.array, prev.lo, max(prev.hi, d.hi), cons)
+        else:
+            out.append(d)
+    return out
+
+
+def _coalesce_inv(dirs: list[InvDirective]) -> list[InvDirective]:
+    """Merge overlapping/adjacent same-array same-producer INVs."""
+    out: list[InvDirective] = []
+    key = lambda d: (d.array, -2 if d.prod is None else d.prod, d.lo, d.hi)
+    for d in sorted(dirs, key=key):
+        if (
+            out
+            and out[-1].array == d.array
+            and out[-1].prod == d.prod
+            and d.lo <= out[-1].hi
+        ):
+            prev = out[-1]
+            out[-1] = InvDirective(d.array, prev.lo, max(prev.hi, d.hi), d.prod)
+        else:
+            out.append(d)
+    return out
+
+
+def analyze(program: ir.IRProgram, nthreads: int) -> InstrumentationPlan:
+    """Run the full Model-2 analysis and return the instrumentation plan."""
+    if nthreads < 1:
+        raise CompilerError("need at least one thread")
+    cfg = CFG(program)
+    plan = InstrumentationPlan(nthreads)
+
+    for pnode in cfg.nodes:
+        pstmt = pnode.stmt
+        written = _written_arrays(pstmt)
+        for array in sorted(written):
+            produced = produced_intervals(pstmt, array, nthreads)
+            if not produced:
+                continue
+            consumers = cfg.reachable_consumers(pnode.sid, array)
+            irregular_consumer = False
+            for csid in consumers:
+                cstmt = cfg.node(csid).stmt
+                consumed = consumed_intervals(cstmt, array, nthreads)
+                for j, rint in consumed:
+                    for i, wint in produced:
+                        if i == j:
+                            continue
+                        ov = overlap(wint, rint)
+                        if ov is None:
+                            continue
+                        if i < 0:
+                            # Unordered producer (reduction result).
+                            plan.add_inv(
+                                csid, j, InvDirective(array, ov[0], ov[1], None)
+                            )
+                        else:
+                            plan.add_wb(
+                                pnode.sid,
+                                i,
+                                WbDirective(array, ov[0], ov[1], frozenset({j})),
+                            )
+                            plan.add_inv(
+                                csid, j, InvDirective(array, ov[0], ov[1], i)
+                            )
+                # Indirect reads of this array: register inspector work and
+                # make the producer write back everything it produced.
+                for ref in _irregular_reads(cstmt):
+                    if ref.array != array:
+                        continue
+                    irregular_consumer = True
+                    plan.irregular.setdefault(csid, []).append(
+                        _make_irregular(csid, ref, pnode.sid, pstmt)
+                    )
+            if irregular_consumer:
+                for i, wint in produced:
+                    if i < 0:
+                        continue
+                    plan.add_wb(
+                        pnode.sid, i, WbDirective(array, wint[0], wint[1], None)
+                    )
+
+    for sid, per_tid in plan.wb_after.items():
+        for tid in per_tid:
+            per_tid[tid] = _coalesce_wb(per_tid[tid])
+    for sid, per_tid in plan.inv_before.items():
+        for tid in per_tid:
+            per_tid[tid] = _coalesce_inv(per_tid[tid])
+    for sid in plan.irregular:
+        plan.irregular[sid] = _group_irregular(plan.irregular[sid])
+    return plan
+
+
+def _group_irregular(items: list[IrregularRead]) -> list[IrregularRead]:
+    """Merge same-(array, index array, producer) refs, unioning positions."""
+    grouped: dict[tuple, IrregularRead] = {}
+    for irr in items:
+        key = (irr.consumer_sid, irr.array, irr.index_array, irr.producer_sid)
+        prev = grouped.get(key)
+        if prev is None:
+            grouped[key] = irr
+        else:
+            positions = tuple(sorted(set(prev.positions) | set(irr.positions)))
+            grouped[key] = IrregularRead(
+                consumer_sid=irr.consumer_sid,
+                array=irr.array,
+                index_array=irr.index_array,
+                positions=positions,
+                producer_sid=irr.producer_sid,
+                producer_serial=irr.producer_serial,
+                producer_length=irr.producer_length,
+                producer_offset=irr.producer_offset,
+            )
+    return list(grouped.values())
+
+
+def _written_arrays(stmt) -> set[str]:
+    if isinstance(stmt, ir.ParallelFor):
+        return stmt.written_arrays()
+    if isinstance(stmt, ir.SerialStmt):
+        return {w.array for w in stmt.writes}
+    if isinstance(stmt, ir.ReduceStmt):
+        return {stmt.result}
+    if isinstance(stmt, ir.HierReduceStmt):
+        return {stmt.result}
+    return set()
+
+
+def _make_irregular(
+    csid: int, ref: ir.Ref, psid: int, pstmt
+) -> IrregularRead:
+    idx = ref.index
+    assert isinstance(idx, ir.Indirect)
+    if isinstance(pstmt, ir.ParallelFor):
+        offset = 0
+        for assign in pstmt.body:
+            if assign.lhs.array == ref.array and isinstance(
+                assign.lhs.index, ir.Affine
+            ):
+                offset = assign.lhs.index.offset
+                break
+        return IrregularRead(
+            consumer_sid=csid,
+            array=ref.array,
+            index_array=idx.index_array,
+            positions=((idx.coeff, idx.offset),),
+            producer_sid=psid,
+            producer_serial=False,
+            producer_length=pstmt.length,
+            producer_offset=offset,
+        )
+    if isinstance(pstmt, ir.SerialStmt):
+        return IrregularRead(
+            consumer_sid=csid,
+            array=ref.array,
+            index_array=idx.index_array,
+            positions=((idx.coeff, idx.offset),),
+            producer_sid=psid,
+            producer_serial=True,
+            producer_length=0,
+            producer_offset=0,
+        )
+    raise CompilerError(
+        "irregular reads need a ParallelFor or SerialStmt producer"
+    )

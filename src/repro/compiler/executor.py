@@ -1,0 +1,448 @@
+"""Model-2 executor: lower an IR program onto the simulated machine.
+
+:class:`ModelTwoRunner` compiles an :class:`~repro.compiler.ir.IRProgram`
+(CFG + DEF-USE instrumentation plan), allocates its arrays in the machine's
+shared address space, and spawns one SPMD thread program per core.  The
+instrumentation is lowered per the Table II inter-block configuration:
+
+* **HCC** — no instrumentation; the MESI hierarchy keeps caches coherent.
+* **Base** — ``WB ALL`` to the L3 before every barrier and ``INV ALL`` from
+  the L2 after it, with no address information.
+* **Addr** — the plan's directives as explicit-level ``WB_L3`` / ``INV_L2``
+  (addresses known, level always global).
+* **Addr+L** — level-adaptive ``WB_CONS`` / ``INV_PROD``; directives with an
+  unknown peer (reductions, irregular producers, multi-consumer broadcasts)
+  fall back to the global ops.
+
+Irregular consumers run the inspector once (first dynamic execution) and
+reuse its conflict map in later outer iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.compiler import ir
+from repro.compiler.cfg import CFG
+from repro.compiler.defuse import InstrumentationPlan, analyze
+from repro.compiler.inspector import run_inspector
+from repro.compiler.schedule import chunk_bounds
+from repro.common.errors import CompilerError
+from repro.common.params import WORD_BYTES
+from repro.core.config import InterMode
+from repro.core.context import ThreadCtx
+from repro.core.machine import Machine
+from repro.isa import ops as isa
+from repro.mem.addrspace import SharedArray
+
+#: Lock IDs for reduction critical sections start here (barrier ids are low).
+_REDUCE_LOCK_BASE = 1 << 16
+
+
+class ModelTwoRunner:
+    """Compile + allocate + spawn an IR program on a machine."""
+
+    def __init__(self, machine: Machine, program: ir.IRProgram) -> None:
+        self.machine = machine
+        self.program = program
+        self.mode: InterMode = machine.config.inter_mode
+        self.n = machine.num_threads
+        self.cfg = CFG(program)
+        self._sid_of = {id(n.stmt): n.sid for n in self.cfg.nodes}
+        self.plan: InstrumentationPlan | None = None
+        if self.mode in (InterMode.ADDR, InterMode.ADDR_LEVEL):
+            self.plan = analyze(program, self.n)
+
+        self.arrays: dict[str, SharedArray] = {
+            name: machine.array(name, size)
+            for name, size in program.arrays.items()
+        }
+        self._validate_reductions()
+
+        # Conflict arrays for irregular consumers (one per data array read
+        # indirectly), plus inspector result caches keyed by (irregular, tid).
+        self._conflict_arrays: dict[tuple[int, str], SharedArray] = {}
+        if self.plan is not None:
+            for sid, irrs in self.plan.irregular.items():
+                for irr in irrs:
+                    key = (sid, irr.array)
+                    if key not in self._conflict_arrays:
+                        self._conflict_arrays[key] = machine.array(
+                            f"__conflict_{sid}_{irr.array}",
+                            self.program.arrays[irr.array],
+                        )
+        self._inspector_cache: dict[tuple[int, int, str], dict[int, int]] = {}
+
+    # -- setup helpers -----------------------------------------------------------
+
+    def _validate_reductions(self) -> None:
+        for stmt in ir.iter_stmts(self.program.stmts):
+            if isinstance(stmt, (ir.ReduceStmt, ir.HierReduceStmt)):
+                declared = self.program.arrays[stmt.result]
+                if declared != stmt.width + 1:
+                    raise CompilerError(
+                        f"reduction {stmt.name!r}: result array must have "
+                        f"width+1 = {stmt.width + 1} elements, got {declared}"
+                    )
+            if isinstance(stmt, ir.HierReduceStmt):
+                declared = self.program.arrays[stmt.blockpart]
+                stride = self._block_slot_stride(stmt)
+                want = self.machine.params.num_blocks * stride
+                if declared != want:
+                    raise CompilerError(
+                        f"hierarchical reduction {stmt.name!r}: blockpart "
+                        f"must have num_blocks*{stride} = {want} elements, "
+                        f"got {declared}"
+                    )
+
+    def _block_slot_stride(self, stmt: ir.HierReduceStmt) -> int:
+        """Block slots are padded to whole cache lines (no false sharing)."""
+        wpl = self.machine.params.words_per_line
+        return -(-(stmt.width + 1) // wpl) * wpl
+
+    def preload(self, name: str, values: list[Any]) -> None:
+        """Seed an array's initial contents directly in main memory (untimed).
+
+        Models program input that is resident in memory before the parallel
+        region starts (e.g. the sparse matrix read from a file).
+        """
+        arr = self.arrays[name]
+        if len(values) != arr.size:
+            raise CompilerError(
+                f"preload of {name!r}: {len(values)} values for {arr.size} slots"
+            )
+        mem = self.machine.hier.memory
+        for addr, value in zip(arr.element_addrs(), values):
+            mem.write_word(addr // WORD_BYTES, value)
+
+    def spawn_all(self) -> None:
+        self.machine.spawn_all(self._thread)
+
+    def run(self):
+        """Spawn (if needed) and execute; returns the machine statistics."""
+        if not self.machine._cpus:
+            self.spawn_all()
+        return self.machine.run()
+
+    def result(self, name: str) -> list[Any]:
+        """Final contents of an array from main memory (after run)."""
+        return self.machine.read_array(self.arrays[name])
+
+    # -- thread program ------------------------------------------------------------
+
+    def _thread(self, ctx: ThreadCtx):
+        yield from self._run_seq(ctx, self.program.stmts)
+
+    def _run_seq(self, ctx: ThreadCtx, stmts):
+        for stmt in stmts:
+            if isinstance(stmt, ir.Loop):
+                for _ in range(stmt.times):
+                    yield from self._run_seq(ctx, stmt.body)
+            elif isinstance(stmt, ir.ParallelFor):
+                yield from self._parallel_for(ctx, stmt)
+            elif isinstance(stmt, ir.SerialStmt):
+                yield from self._serial(ctx, stmt)
+            elif isinstance(stmt, ir.ReduceStmt):
+                yield from self._reduce(ctx, stmt)
+            elif isinstance(stmt, ir.HierReduceStmt):
+                yield from self._hier_reduce(ctx, stmt)
+            else:  # pragma: no cover - IR is exhaustive
+                raise CompilerError(f"unexpected statement {stmt!r}")
+
+    # -- instrumentation lowering ------------------------------------------------------
+
+    def _range_args(self, array: str, lo: int, hi: int) -> tuple[int, int]:
+        arr = self.arrays[array]
+        return arr.addr(lo), (hi - lo) * WORD_BYTES
+
+    def _emit_invs(self, ctx: ThreadCtx, sid: int):
+        if self.plan is None:
+            return
+        for d in self.plan.invs(sid, ctx.tid):
+            addr, length = self._range_args(d.array, d.lo, d.hi)
+            if self.mode == InterMode.ADDR or d.prod is None:
+                yield isa.INVL2(addr, length)
+            else:
+                yield isa.InvProd(addr, length, d.prod)
+
+    def _emit_wbs(self, ctx: ThreadCtx, sid: int):
+        if self.plan is None:
+            return
+        for d in self.plan.wbs(sid, ctx.tid):
+            addr, length = self._range_args(d.array, d.lo, d.hi)
+            if self.mode == InterMode.ADDR or d.cons is None:
+                yield isa.WBL3(addr, length)
+            elif len(d.cons) > 4:
+                # Many consumers (a broadcast): a single WB to the
+                # last-level cache serves them all.
+                yield isa.WBL3(addr, length)
+            else:
+                # A few known consumers: one WB_CONS each.  After the first
+                # writes the lines back, later ones find them clean — the
+                # hardware dedupes the data movement, and a remote consumer
+                # among them still pushes the words parked in the L2 up to
+                # the L3 (Section V-B's L1+L2 tag check).
+                for cons in sorted(d.cons):
+                    yield isa.WBCons(addr, length, cons)
+
+    def _epoch_close(self, ctx: ThreadCtx, sid: int):
+        """Producer-side WBs, the barrier, and Base's post-barrier INV ALL."""
+        if self.mode == InterMode.BASE:
+            yield isa.WBAllL3()
+        else:
+            yield from self._emit_wbs(ctx, sid)
+        yield isa.Barrier(0, self.n)
+        if self.mode == InterMode.BASE:
+            yield isa.INVAllL2()
+
+    # -- irregular consumers --------------------------------------------------------------
+
+    def _irregular_invs(self, ctx: ThreadCtx, stmt: ir.ParallelFor, sid: int):
+        if self.plan is None:
+            return
+        for irr in self.plan.irregular.get(sid, []):
+            cache_key = (sid, ctx.tid, irr.array)
+            conflicts = self._inspector_cache.get(cache_key)
+            if conflicts is None:
+                conflicts = yield from run_inspector(
+                    irr,
+                    ctx.tid,
+                    self.n,
+                    stmt.length,
+                    self.arrays,
+                    self._conflict_arrays[(sid, irr.array)],
+                )
+                self._inspector_cache[cache_key] = conflicts
+            data = self.arrays[irr.array]
+            for elem in sorted(conflicts):
+                writer = conflicts[elem]
+                addr = data.addr(elem)
+                if self.mode == InterMode.ADDR:
+                    yield isa.INVL2(addr, WORD_BYTES)
+                else:
+                    yield isa.InvProd(addr, WORD_BYTES, writer)
+
+    # -- statement execution -----------------------------------------------------------------
+
+    def _parallel_for(self, ctx: ThreadCtx, stmt: ir.ParallelFor):
+        sid = self._sid_of[id(stmt)]
+        yield from self._emit_invs(ctx, sid)
+        yield from self._irregular_invs(ctx, stmt, sid)
+
+        lo, hi = chunk_bounds(stmt.length, self.n, ctx.tid)
+        arrays = self.arrays
+        for i in range(lo, hi):
+            for assign in stmt.body:
+                vals = []
+                for ref in assign.rhs:
+                    idx = ref.index
+                    if isinstance(idx, ir.Indirect):
+                        pos = idx.coeff * i + idx.offset
+                        raw = yield isa.Read(
+                            arrays[idx.index_array].addr(pos)
+                        )
+                        vals.append(
+                            (yield isa.Read(arrays[ref.array].addr(int(raw))))
+                        )
+                    else:
+                        vals.append(
+                            (yield isa.Read(arrays[ref.array].addr(idx.at(i))))
+                        )
+                out = assign.fn(i, *vals)
+                yield isa.Write(arrays[assign.lhs.array].addr(assign.lhs.index.at(i)), out)
+            if stmt.compute_cycles:
+                yield isa.Compute(stmt.compute_cycles)
+
+        yield from self._epoch_close(ctx, sid)
+
+    def _serial(self, ctx: ThreadCtx, stmt: ir.SerialStmt):
+        sid = self._sid_of[id(stmt)]
+        if ctx.tid == 0:
+            yield from self._emit_invs(ctx, sid)
+            env: dict[str, list[Any]] = {}
+            for r in stmt.reads:
+                arr = self.arrays[r.array]
+                values = []
+                for e in range(r.lo, r.hi):
+                    values.append((yield isa.Read(arr.addr(e))))
+                env[r.array] = values
+            if stmt.compute_cycles:
+                yield isa.Compute(stmt.compute_cycles)
+            out = stmt.fn(env)
+            for w in stmt.writes:
+                arr = self.arrays[w.array]
+                values = out[w.array]
+                if len(values) != w.hi - w.lo:
+                    raise CompilerError(
+                        f"serial stmt {stmt.name!r} returned "
+                        f"{len(values)} values for {w.array}[{w.lo}:{w.hi}]"
+                    )
+                for off, value in enumerate(values):
+                    yield isa.Write(arr.addr(w.lo + off), value)
+            yield from self._epoch_close(ctx, sid)
+        else:
+            if self.mode == InterMode.BASE:
+                yield isa.WBAllL3()
+            yield isa.Barrier(0, self.n)
+            if self.mode == InterMode.BASE:
+                yield isa.INVAllL2()
+
+    def _reduce(self, ctx: ThreadCtx, stmt: ir.ReduceStmt):
+        sid = self._sid_of[id(stmt)]
+        yield from self._emit_invs(ctx, sid)
+
+        # Local phase: read my chunk of every input, compute the partial.
+        env: dict[str, list[Any]] = {}
+        for r in stmt.inputs:
+            arr = self.arrays[r.array]
+            lo, hi = chunk_bounds(r.hi - r.lo, self.n, ctx.tid)
+            values = []
+            for e in range(r.lo + lo, r.lo + hi):
+                values.append((yield isa.Read(arr.addr(e))))
+            env[r.array] = values
+        if stmt.compute_cycles:
+            yield isa.Compute(stmt.compute_cycles)
+        partial = stmt.partial_fn(ctx.tid, self.n, env)
+        if len(partial) != stmt.width:
+            raise CompilerError(
+                f"reduction {stmt.name!r}: partial has {len(partial)} values, "
+                f"expected {stmt.width}"
+            )
+
+        # Combine phase: unordered critical-section update of the result.
+        result = self.arrays[stmt.result]
+        res_addr, res_len = self._range_args(stmt.result, 0, stmt.width + 1)
+        lid = _REDUCE_LOCK_BASE + sid
+        yield isa.LockAcquire(lid)
+        if self.mode == InterMode.BASE:
+            yield isa.INVAllL2()
+        elif self.mode in (InterMode.ADDR, InterMode.ADDR_LEVEL):
+            yield isa.INVL2(res_addr, res_len)
+        counter = yield isa.Read(result.addr(stmt.width))
+        if int(counter) % self.n == 0:
+            current = stmt.identity_values()
+        else:
+            current = []
+            for k in range(stmt.width):
+                current.append((yield isa.Read(result.addr(k))))
+        new = stmt.combine_fn(current, partial)
+        for k in range(stmt.width):
+            yield isa.Write(result.addr(k), new[k])
+        yield isa.Write(result.addr(stmt.width), int(counter) + 1)
+        if self.mode == InterMode.BASE:
+            yield isa.WBAllL3()
+        elif self.mode in (InterMode.ADDR, InterMode.ADDR_LEVEL):
+            yield isa.WBL3(res_addr, res_len)
+        yield isa.LockRelease(lid)
+
+        yield isa.Barrier(0, self.n)
+        if self.mode == InterMode.BASE:
+            yield isa.INVAllL2()
+
+    def _hier_reduce(self, ctx: ThreadCtx, stmt: ir.HierReduceStmt):
+        """Two-level reduction (Section VII-C's suggested rewrite).
+
+        Level 1: fold the thread partial into the *block's* slot under a
+        block-local lock; in Addr+L the slot's WB/INV stay at the L1↔L2
+        level because every participant shares the block.  Level 2: one
+        leader per block folds the block slots into the global result —
+        a critical section with ``num_blocks`` participants instead of
+        ``num_threads``.
+        """
+        sid = self._sid_of[id(stmt)]
+        yield from self._emit_invs(ctx, sid)
+        placement = self.machine.placement
+        block = placement.block_of_thread(ctx.tid)
+        block_threads = placement.threads_in_block(block)
+        stride = self._block_slot_stride(stmt)
+
+        # Local phase: thread partial over its input chunk.
+        env: dict[str, list[Any]] = {}
+        for r in stmt.inputs:
+            arr = self.arrays[r.array]
+            lo, hi = chunk_bounds(r.hi - r.lo, self.n, ctx.tid)
+            values = []
+            for e in range(r.lo + lo, r.lo + hi):
+                values.append((yield isa.Read(arr.addr(e))))
+            env[r.array] = values
+        if stmt.compute_cycles:
+            yield isa.Compute(stmt.compute_cycles)
+        partial = stmt.partial_fn(ctx.tid, self.n, env)
+
+        # Level 1: block-local critical section on the block's slot.
+        bp = self.arrays[stmt.blockpart]
+        slot = block * stride
+        slot_addr, slot_len = self._range_args(
+            stmt.blockpart, slot, slot + stmt.width + 1
+        )
+        lid = (
+            _REDUCE_LOCK_BASE
+            + 2 * sid * self.machine.params.num_blocks
+            + block
+        )
+        yield isa.LockAcquire(lid)
+        if self.mode == InterMode.BASE:
+            yield isa.INVAllL2()
+        elif self.mode == InterMode.ADDR:
+            yield isa.INVL2(slot_addr, slot_len)
+        elif self.mode == InterMode.ADDR_LEVEL:
+            yield isa.INV(slot_addr, slot_len)  # in-block: L1-level only
+        counter = yield isa.Read(bp.addr(slot + stmt.width))
+        if int(counter) % len(block_threads) == 0:
+            current = stmt.identity_values()
+        else:
+            current = []
+            for k in range(stmt.width):
+                current.append((yield isa.Read(bp.addr(slot + k))))
+        new = stmt.combine_fn(current, partial)
+        for k in range(stmt.width):
+            yield isa.Write(bp.addr(slot + k), new[k])
+        yield isa.Write(bp.addr(slot + stmt.width), int(counter) + 1)
+        if self.mode == InterMode.BASE:
+            yield isa.WBAllL3()
+        elif self.mode == InterMode.ADDR:
+            yield isa.WBL3(slot_addr, slot_len)
+        elif self.mode == InterMode.ADDR_LEVEL:
+            yield isa.WB(slot_addr, slot_len)  # in-block: to the L2 only
+        yield isa.LockRelease(lid)
+        yield isa.Barrier(0, self.n)
+        if self.mode == InterMode.BASE:
+            yield isa.INVAllL2()
+
+        # Level 2: block leaders combine the block slots globally.
+        if ctx.tid == min(block_threads):
+            result = self.arrays[stmt.result]
+            res_addr, res_len = self._range_args(stmt.result, 0, stmt.width + 1)
+            glid = (
+                _REDUCE_LOCK_BASE
+                + (2 * sid + 1) * self.machine.params.num_blocks
+            )
+            if self.mode in (InterMode.ADDR, InterMode.ADDR_LEVEL):
+                yield isa.INV(slot_addr, slot_len)  # refresh own block slot
+            block_vals = []
+            for k in range(stmt.width):
+                block_vals.append((yield isa.Read(bp.addr(slot + k))))
+            yield isa.LockAcquire(glid)
+            if self.mode == InterMode.BASE:
+                yield isa.INVAllL2()
+            elif self.mode in (InterMode.ADDR, InterMode.ADDR_LEVEL):
+                yield isa.INVL2(res_addr, res_len)
+            gcounter = yield isa.Read(result.addr(stmt.width))
+            if int(gcounter) % self.machine.params.num_blocks == 0:
+                current = stmt.identity_values()
+            else:
+                current = []
+                for k in range(stmt.width):
+                    current.append((yield isa.Read(result.addr(k))))
+            new = stmt.combine_fn(current, block_vals)
+            for k in range(stmt.width):
+                yield isa.Write(result.addr(k), new[k])
+            yield isa.Write(result.addr(stmt.width), int(gcounter) + 1)
+            if self.mode == InterMode.BASE:
+                yield isa.WBAllL3()
+            elif self.mode in (InterMode.ADDR, InterMode.ADDR_LEVEL):
+                yield isa.WBL3(res_addr, res_len)
+            yield isa.LockRelease(glid)
+        yield isa.Barrier(0, self.n)
+        if self.mode == InterMode.BASE:
+            yield isa.INVAllL2()

@@ -1,0 +1,56 @@
+"""Inspector-executor support for irregular accesses (Section V-A.2, Fig. 8).
+
+Sparse iterative codes (CG) read data through index arrays whose contents are
+unknown at compile time but fixed across outer iterations.  The inspector is
+code *inserted into the program and executed in parallel by the threads*: for
+each of its consumer iterations, a thread reads the index array (simulated
+loads — the inspector's cost is real and is amortized over the outer
+iterations), determines the ID of the thread that produces each element it
+will read, and records the result in a ``conflict`` array (simulated stores).
+The executor then issues ``INV_PROD(elem, conflict[elem])`` only for elements
+produced by *other* threads, skipping self-produced data entirely.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.compiler.defuse import IrregularRead
+from repro.compiler.schedule import chunk_bounds, owner_of_iteration
+from repro.isa import ops as isa
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mem.addrspace import SharedArray
+
+
+def run_inspector(
+    irr: IrregularRead,
+    tid: int,
+    nthreads: int,
+    consumer_length: int,
+    arrays: dict[str, "SharedArray"],
+    conflict_arr: "SharedArray",
+):
+    """Generator: simulate the inspector loop; returns {element: writer tid}.
+
+    Only elements written by *another* thread appear in the result (the
+    paper's Figure 8 skips the INV when ``conflict[k] == tid``).
+    """
+    index_array = arrays[irr.index_array]
+    lo, hi = chunk_bounds(consumer_length, nthreads, tid)
+    conflicts: dict[int, int] = {}
+    for i in range(lo, hi):
+        for coeff, offset in irr.positions:
+            pos = coeff * i + offset
+            idx_value = yield isa.Read(index_array.addr(pos))
+            elem = int(idx_value)
+            if irr.producer_serial:
+                writer = 0
+            else:
+                writer = owner_of_iteration(
+                    irr.producer_length, nthreads, elem - irr.producer_offset
+                )
+            if writer != tid and elem not in conflicts:
+                conflicts[elem] = writer
+                yield isa.Write(conflict_arr.addr(elem), writer)
+    return conflicts

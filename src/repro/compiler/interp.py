@@ -1,0 +1,146 @@
+"""Reference interpreter for Model-2 IR programs.
+
+Executes an :class:`~repro.compiler.ir.IRProgram` directly on plain Python
+lists — no caches, no timing — giving the ground-truth final array contents.
+Tests compare simulated runs (any configuration, any placement) against this
+interpreter; agreement demonstrates that the inserted WB/INV instrumentation
+is *sufficient* for correctness on the incoherent hierarchy.
+
+Reductions fold partials in thread-ID order; floating-point reassociation in
+the simulator (critical-section arrival order) can differ, so comparisons of
+float results should use a tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.compiler import ir
+from repro.compiler.schedule import chunk_bounds
+from repro.common.errors import CompilerError
+
+
+def interpret(
+    program: ir.IRProgram,
+    nthreads: int,
+    initial: dict[str, list[Any]] | None = None,
+    *,
+    blocks: list[list[int]] | None = None,
+) -> dict[str, list[Any]]:
+    """Run *program* sequentially; return the final contents of every array.
+
+    ``blocks`` lists the thread IDs of each block (needed only for
+    :class:`~repro.compiler.ir.HierReduceStmt`); the default is a single
+    block holding every thread.
+    """
+    mem: dict[str, list[Any]] = {
+        name: [0] * size for name, size in program.arrays.items()
+    }
+    if initial:
+        for name, values in initial.items():
+            if name not in mem:
+                raise CompilerError(f"initial data for undeclared array {name!r}")
+            if len(values) != len(mem[name]):
+                raise CompilerError(
+                    f"initial data for {name!r} has wrong length"
+                )
+            mem[name] = list(values)
+    if blocks is None:
+        blocks = [list(range(nthreads))]
+    _run_seq(program.stmts, mem, nthreads, blocks)
+    return mem
+
+
+def _run_seq(stmts, mem, nthreads: int, blocks) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, ir.Loop):
+            for _ in range(stmt.times):
+                _run_seq(stmt.body, mem, nthreads, blocks)
+        elif isinstance(stmt, ir.ParallelFor):
+            _parallel_for(stmt, mem)
+        elif isinstance(stmt, ir.SerialStmt):
+            _serial(stmt, mem)
+        elif isinstance(stmt, ir.ReduceStmt):
+            _reduce(stmt, mem, nthreads)
+        elif isinstance(stmt, ir.HierReduceStmt):
+            _hier_reduce(stmt, mem, nthreads, blocks)
+        else:  # pragma: no cover
+            raise CompilerError(f"unexpected statement {stmt!r}")
+
+
+def _read_ref(ref: ir.Ref, i: int, mem) -> Any:
+    idx = ref.index
+    if isinstance(idx, ir.Indirect):
+        pos = idx.coeff * i + idx.offset
+        return mem[ref.array][int(mem[idx.index_array][pos])]
+    return mem[ref.array][idx.at(i)]
+
+
+def _parallel_for(stmt: ir.ParallelFor, mem) -> None:
+    # Loop-carried semantics match the simulator: within one iteration the
+    # body assignments run in order; iterations are independent across
+    # threads (the analyzable subset has no cross-iteration dependences
+    # within one epoch), so plain sequential order is faithful.
+    for i in range(stmt.length):
+        for assign in stmt.body:
+            vals = [_read_ref(r, i, mem) for r in assign.rhs]
+            mem[assign.lhs.array][assign.lhs.index.at(i)] = assign.fn(i, *vals)
+
+
+def _serial(stmt: ir.SerialStmt, mem) -> None:
+    env = {r.array: mem[r.array][r.lo : r.hi] for r in stmt.reads}
+    out = stmt.fn(env)
+    for w in stmt.writes:
+        values = out[w.array]
+        if len(values) != w.hi - w.lo:
+            raise CompilerError(
+                f"serial stmt {stmt.name!r} returned wrong-length {w.array}"
+            )
+        mem[w.array][w.lo : w.hi] = values
+
+
+def _reduce(stmt: ir.ReduceStmt, mem, nthreads: int) -> None:
+    acc = stmt.identity_values()
+    for tid in range(nthreads):
+        env: dict[str, list[Any]] = {}
+        for r in stmt.inputs:
+            lo, hi = chunk_bounds(r.hi - r.lo, nthreads, tid)
+            env[r.array] = mem[r.array][r.lo + lo : r.lo + hi]
+        partial = stmt.partial_fn(tid, nthreads, env)
+        acc = stmt.combine_fn(acc, partial)
+    mem[stmt.result][: stmt.width] = acc
+    mem[stmt.result][stmt.width] = (
+        int(mem[stmt.result][stmt.width]) + nthreads
+    )
+
+
+def _hier_reduce(stmt: ir.HierReduceStmt, mem, nthreads: int, blocks) -> None:
+    """Two-level reduction: fold within each block, then across blocks.
+
+    Block slots are line-padded; the stride matches the executor's layout
+    (16 words per line).
+    """
+    wpl = 16
+    stride = -(-(stmt.width + 1) // wpl) * wpl
+    block_vals = []
+    for b, tids in enumerate(blocks):
+        acc = stmt.identity_values()
+        for tid in tids:
+            env: dict[str, list[Any]] = {}
+            for r in stmt.inputs:
+                lo, hi = chunk_bounds(r.hi - r.lo, nthreads, tid)
+                env[r.array] = mem[r.array][r.lo + lo : r.lo + hi]
+            acc = stmt.combine_fn(acc, stmt.partial_fn(tid, nthreads, env))
+        slot = b * stride
+        mem[stmt.blockpart][slot : slot + stmt.width] = acc
+        mem[stmt.blockpart][slot + stmt.width] = (
+            int(mem[stmt.blockpart][slot + stmt.width]) + len(tids)
+        )
+        block_vals.append(acc)
+    total = stmt.identity_values()
+    for vals in block_vals:
+        total = stmt.combine_fn(total, vals)
+    mem[stmt.result][: stmt.width] = total
+    mem[stmt.result][stmt.width] = (
+        int(mem[stmt.result][stmt.width]) + len(blocks)
+    )

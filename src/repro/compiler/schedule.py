@@ -1,0 +1,49 @@
+"""Static chunk scheduling (OpenMP ``schedule(static)``, Section V-A).
+
+With static chunk scheduling the compiler knows which thread executes which
+iterations: loop ``range(length)`` is split into ``nthreads`` consecutive
+chunks, the first ``length % nthreads`` chunks one iteration longer.  The
+producer/consumer thread IDs in WB_CONS/INV_PROD instrumentation are
+equations over this mapping.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CompilerError
+
+
+def chunk_bounds(length: int, nthreads: int, tid: int) -> tuple[int, int]:
+    """Iteration interval [lo, hi) executed by *tid*."""
+    if nthreads <= 0:
+        raise CompilerError("need at least one thread")
+    if not 0 <= tid < nthreads:
+        raise CompilerError(f"tid {tid} out of range for {nthreads} threads")
+    base, extra = divmod(length, nthreads)
+    lo = tid * base + min(tid, extra)
+    hi = lo + base + (1 if tid < extra else 0)
+    return lo, hi
+
+
+def owner_of_iteration(length: int, nthreads: int, i: int) -> int:
+    """Inverse mapping: which thread executes iteration *i*."""
+    if not 0 <= i < length:
+        raise CompilerError(f"iteration {i} out of range(0, {length})")
+    base, extra = divmod(length, nthreads)
+    boundary = extra * (base + 1)
+    if i < boundary:
+        return i // (base + 1)
+    if base == 0:
+        raise CompilerError(f"iteration {i} unassigned ({length} < {nthreads})")
+    return extra + (i - boundary) // base
+
+
+def all_chunks(length: int, nthreads: int) -> list[tuple[int, int]]:
+    """Every thread's [lo, hi) interval, indexed by tid."""
+    return [chunk_bounds(length, nthreads, t) for t in range(nthreads)]
+
+
+def overlap(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int] | None:
+    """Intersection of two half-open intervals, or None when empty."""
+    lo = max(a[0], b[0])
+    hi = min(a[1], b[1])
+    return (lo, hi) if lo < hi else None

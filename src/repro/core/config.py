@@ -1,0 +1,106 @@
+"""Experiment configurations (paper Table II).
+
+Intra-block experiments:
+
+========  ==========================================================
+Name      Configuration
+========  ==========================================================
+Base      WB ALL and INV ALL at every synchronization annotation
+B+M       Base plus the MEB (used in critical sections)
+B+I       Base plus the IEB (used in critical sections)
+B+M+I     Base plus both buffers
+HCC       Hardware cache coherence (full-map directory MESI)
+========  ==========================================================
+
+Inter-block experiments:
+
+========  ==========================================================
+Base      WB ALL to L3; INV ALL from L2 (always global, no addresses)
+Addr      WB of addresses to L3; INV of addresses from L2
+Addr+L    Level-adaptive WB_CONS and INV_PROD (addresses + ThreadMap)
+HCC       Hierarchical full-map directory MESI
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.errors import ConfigError
+
+
+class InterMode(str, Enum):
+    """How Model-2 instrumentation is lowered (inter-block experiments)."""
+
+    BASE = "base"  # WB ALL to L3 / INV ALL from L2
+    ADDR = "addr"  # explicit address ranges, always global (WB_L3 / INV_L2)
+    ADDR_LEVEL = "addr_l"  # WB_CONS / INV_PROD (level-adaptive)
+    HCC = "hcc"  # no instrumentation
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One column of Table II."""
+
+    name: str
+    hardware_coherent: bool
+    use_meb: bool = False
+    use_ieb: bool = False
+    inter_mode: InterMode = InterMode.BASE
+
+    def __post_init__(self) -> None:
+        if self.hardware_coherent and (self.use_meb or self.use_ieb):
+            raise ConfigError("HCC has no MEB/IEB")
+        if self.hardware_coherent and self.inter_mode != InterMode.HCC:
+            object.__setattr__(self, "inter_mode", InterMode.HCC)
+
+    @property
+    def annotations_enabled(self) -> bool:
+        return not self.hardware_coherent
+
+
+# -- intra-block configurations (Table II, upper half) ------------------------
+
+INTRA_BASE = ExperimentConfig("Base", hardware_coherent=False)
+INTRA_BM = ExperimentConfig("B+M", hardware_coherent=False, use_meb=True)
+INTRA_BI = ExperimentConfig("B+I", hardware_coherent=False, use_ieb=True)
+INTRA_BMI = ExperimentConfig(
+    "B+M+I", hardware_coherent=False, use_meb=True, use_ieb=True
+)
+INTRA_HCC = ExperimentConfig("HCC", hardware_coherent=True, inter_mode=InterMode.HCC)
+
+INTRA_CONFIGS = (INTRA_HCC, INTRA_BASE, INTRA_BM, INTRA_BI, INTRA_BMI)
+
+# -- inter-block configurations (Table II, lower half) -------------------------
+
+INTER_BASE = ExperimentConfig(
+    "Base", hardware_coherent=False, inter_mode=InterMode.BASE
+)
+INTER_ADDR = ExperimentConfig(
+    "Addr", hardware_coherent=False, inter_mode=InterMode.ADDR
+)
+INTER_ADDR_L = ExperimentConfig(
+    "Addr+L",
+    hardware_coherent=False,
+    use_meb=True,
+    use_ieb=True,
+    inter_mode=InterMode.ADDR_LEVEL,
+)
+INTER_HCC = ExperimentConfig("HCC", hardware_coherent=True, inter_mode=InterMode.HCC)
+
+INTER_CONFIGS = (INTER_HCC, INTER_BASE, INTER_ADDR, INTER_ADDR_L)
+
+
+def intra_config(name: str) -> ExperimentConfig:
+    for cfg in INTRA_CONFIGS:
+        if cfg.name == name:
+            return cfg
+    raise ConfigError(f"unknown intra-block configuration {name!r}")
+
+
+def inter_config(name: str) -> ExperimentConfig:
+    for cfg in INTER_CONFIGS:
+        if cfg.name == name:
+            return cfg
+    raise ConfigError(f"unknown inter-block configuration {name!r}")

@@ -1,0 +1,182 @@
+"""In-order core model: consumes a thread's operation stream.
+
+The core advances its program generator, charges each operation's latency
+from the protocol, and attributes cycles to Figure 9's stall categories:
+
+* ``Read``/``Write``/``Compute`` → *rest*
+* WB-family instructions → *WB stall*
+* INV-family instructions → *INV stall*
+* lock acquire/release → *lock stall* (queue wait included)
+* barrier and flag operations → *barrier stall*
+
+Non-blocking operations are executed back-to-back in a single engine step
+(operation batching): latencies only interact across cores at
+synchronization points, so a core may privately accumulate time between
+them.  This is what makes an operation-level Python simulation fast enough
+(DESIGN.md §2) while keeping per-core timing exact.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.common.errors import SimulationError
+from repro.isa import ops as isa
+from repro.sim.stats import CoreStats, StallCat
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.machine import Machine
+
+
+class CPU:
+    """One core executing one thread (one-to-one mapping, no migration)."""
+
+    def __init__(self, machine: "Machine", core_id: int, tid: int, program) -> None:
+        self.machine = machine
+        self.core_id = core_id
+        self.tid = tid
+        self.program = program
+        self.stats: CoreStats = machine.stats.per_core[core_id]
+        self._send_value: Any = None
+        self._sync_issue_time: int = 0
+        self._sync_cat: StallCat = StallCat.REST
+        self._done = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        self.machine.engine.register_entity()
+        self.machine.engine.schedule(0, self._step)
+
+    def _finish(self) -> None:
+        self._done = True
+        self.stats.finish_time = self.machine.engine.now
+        self.machine.engine.entity_finished()
+
+    # -- execution -------------------------------------------------------------
+
+    def _step(self) -> None:
+        """Run non-blocking ops back-to-back; yield to the engine at syncs."""
+        engine = self.machine.engine
+        proto = self.machine.protocol
+        stats = self.stats
+        accumulated = 0
+        send = self._send_value
+        self._send_value = None
+
+        while True:
+            try:
+                op = self.program.send(send)
+            except StopIteration:
+                if accumulated:
+                    engine.schedule(accumulated, self._finish)
+                else:
+                    self._finish()
+                return
+            send = None
+
+            kind = type(op)
+            if kind is isa.Read:
+                lat, send = proto.read(self.core_id, op.addr)
+                stats.loads += 1
+                stats.add_stall(StallCat.REST, lat)
+                accumulated += lat
+            elif kind is isa.Write:
+                lat = proto.write(self.core_id, op.addr, op.value)
+                stats.stores += 1
+                stats.add_stall(StallCat.REST, lat)
+                accumulated += lat
+            elif kind is isa.Compute:
+                stats.add_stall(StallCat.REST, op.cycles)
+                accumulated += op.cycles
+            elif isinstance(op, isa.SYNC_OPS):
+                self._issue_sync(op, accumulated)
+                return
+            else:
+                lat, cat = self._wbinv(proto, op)
+                stats.add_stall(cat, lat)
+                accumulated += lat
+
+    def _wbinv(self, proto, op: isa.Op) -> tuple[int, StallCat]:
+        """Dispatch a WB/INV/epoch op; return (latency, stall category)."""
+        core = self.core_id
+        stats = self.stats
+        kind = type(op)
+        if kind is isa.WB:
+            stats.wb_ops += 1
+            return proto.wb_range(core, op.addr, op.length), StallCat.WB
+        if kind is isa.WBAll:
+            stats.wb_ops += 1
+            return proto.wb_all(core, via_meb=op.via_meb), StallCat.WB
+        if kind is isa.WBCons:
+            stats.wb_ops += 1
+            return proto.wb_cons(core, op.addr, op.length, op.cons_tid), StallCat.WB
+        if kind is isa.WBConsAll:
+            stats.wb_ops += 1
+            return proto.wb_cons_all(core, op.cons_tid), StallCat.WB
+        if kind is isa.WBL3:
+            stats.wb_ops += 1
+            return proto.wb_l3(core, op.addr, op.length), StallCat.WB
+        if kind is isa.WBAllL3:
+            stats.wb_ops += 1
+            return proto.wb_all_l3(core), StallCat.WB
+        if kind is isa.INV:
+            stats.inv_ops += 1
+            return proto.inv_range(core, op.addr, op.length), StallCat.INV
+        if kind is isa.INVAll:
+            stats.inv_ops += 1
+            return proto.inv_all(core), StallCat.INV
+        if kind is isa.InvProd:
+            stats.inv_ops += 1
+            return proto.inv_prod(core, op.addr, op.length, op.prod_tid), StallCat.INV
+        if kind is isa.InvProdAll:
+            stats.inv_ops += 1
+            return proto.inv_prod_all(core, op.prod_tid), StallCat.INV
+        if kind is isa.INVL2:
+            stats.inv_ops += 1
+            return proto.inv_l2(core, op.addr, op.length), StallCat.INV
+        if kind is isa.INVAllL2:
+            stats.inv_ops += 1
+            return proto.inv_all_l2(core), StallCat.INV
+        if kind is isa.EpochBegin:
+            return proto.epoch_begin(core, op.record_meb, op.ieb_mode), StallCat.REST
+        if kind is isa.EpochEnd:
+            return proto.epoch_end(core), StallCat.REST
+        raise SimulationError(f"unknown operation {op!r}")
+
+    # -- synchronization -----------------------------------------------------------
+
+    def _issue_sync(self, op: isa.Op, accumulated: int) -> None:
+        """Charge accumulated time, then hand the op to the sync controller."""
+        engine = self.machine.engine
+
+        def issue() -> None:
+            self._sync_issue_time = engine.now
+            ctl = self.machine.sync
+            core = self.core_id
+            kind = type(op)
+            if kind is isa.Barrier:
+                self._sync_cat = StallCat.BARRIER
+                ctl.barrier_arrive(core, op.bid, op.count, self._sync_resume)
+            elif kind is isa.LockAcquire:
+                self._sync_cat = StallCat.LOCK
+                ctl.lock_acquire(core, op.lid, self._sync_resume)
+            elif kind is isa.LockRelease:
+                self._sync_cat = StallCat.LOCK
+                ctl.lock_release(core, op.lid, self._sync_resume)
+            elif kind is isa.FlagSet:
+                self._sync_cat = StallCat.BARRIER
+                ctl.flag_set(core, op.fid, op.value, self._sync_resume)
+            elif kind is isa.FlagWait:
+                self._sync_cat = StallCat.BARRIER
+                ctl.flag_wait(core, op.fid, op.value, self._sync_resume)
+            else:  # pragma: no cover - SYNC_OPS is exhaustive
+                raise SimulationError(f"unknown sync op {op!r}")
+
+        engine.schedule(accumulated, issue)
+
+    def _sync_resume(self) -> None:
+        waited = self.machine.engine.now - self._sync_issue_time
+        self.stats.add_stall(self._sync_cat, waited)
+        self._send_value = None
+        self._step()

@@ -1,0 +1,24 @@
+"""Evaluation harness: runners, storage model, and figure/table renderers."""
+
+from repro.eval.runner import (
+    RunResult,
+    normalized_exec,
+    run_inter,
+    run_intra,
+    stall_fractions,
+    sweep_inter,
+    sweep_intra,
+)
+from repro.eval.storage import StorageReport, storage_report
+
+__all__ = [
+    "RunResult",
+    "StorageReport",
+    "normalized_exec",
+    "run_inter",
+    "run_intra",
+    "stall_fractions",
+    "storage_report",
+    "sweep_inter",
+    "sweep_intra",
+]

@@ -1,0 +1,175 @@
+"""ASCII renderers for the paper's tables and figures.
+
+Each function takes the raw results produced by :mod:`repro.eval.runner`
+and prints the same rows/series the paper reports:
+
+* :func:`render_table1` — communication-pattern classification,
+* :func:`render_table2`/:func:`render_table3` — configuration/architecture,
+* :func:`render_storage` — the Section VII-A storage comparison,
+* :func:`render_fig9` — normalized intra-block execution time with the
+  five-way stall breakdown,
+* :func:`render_fig10` — normalized traffic with the four-way breakdown,
+* :func:`render_fig11` — normalized global WB/INV counts (Addr vs Addr+L),
+* :func:`render_fig12` — normalized inter-block execution time.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import INTER_CONFIGS, INTRA_CONFIGS
+from repro.common.params import MachineParams
+from repro.eval.runner import RunResult
+from repro.eval.storage import StorageReport
+from repro.sim.stats import StallCat, TrafficCat
+from repro.workloads import MODEL_ONE
+
+
+def _fmt_row(cells: list[str], widths: list[int]) -> str:
+    return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+
+def render_table1() -> str:
+    """Table I: communication patterns observed in the Model-1 workloads."""
+    rows = [("Appl.", "Main", "Other")]
+    for name, cls in sorted(MODEL_ONE.items()):
+        rows.append(
+            (
+                name,
+                ", ".join(cls.main_patterns),
+                ", ".join(cls.other_patterns) or "-",
+            )
+        )
+    widths = [max(len(r[c]) for r in rows) for c in range(3)]
+    lines = [_fmt_row(list(r), widths) for r in rows]
+    lines.insert(1, "-" * (sum(widths) + 4))
+    return "\n".join(lines)
+
+
+def render_table2() -> str:
+    """Table II: configurations evaluated."""
+    out = ["Intra-Block Experiments"]
+    for cfg in INTRA_CONFIGS:
+        out.append(f"  {cfg.name:8s} hcc={cfg.hardware_coherent} "
+                   f"meb={cfg.use_meb} ieb={cfg.use_ieb}")
+    out.append("Inter-Block Experiments")
+    for cfg in INTER_CONFIGS:
+        out.append(f"  {cfg.name:8s} hcc={cfg.hardware_coherent} "
+                   f"mode={cfg.inter_mode.value}")
+    return "\n".join(out)
+
+
+def render_table3(machine: MachineParams) -> str:
+    """Table III: architecture modeled."""
+    lines = [
+        f"Blocks x cores      {machine.num_blocks} x {machine.cores_per_block}",
+        f"Private L1          {machine.l1.size_bytes // 1024}KB, "
+        f"{machine.l1.assoc}-way, {machine.l1.round_trip}-cycle RT, "
+        f"{machine.l1.line_bytes}B lines",
+        f"Per-core MEB        {machine.buffers.meb_entries} entries",
+        f"Per-core IEB        {machine.buffers.ieb_entries} entries",
+        f"Shared L2 bank      {machine.l2_bank.size_bytes // 1024}KB, "
+        f"{machine.l2_bank.assoc}-way, {machine.l2_bank.round_trip}-cycle RT",
+    ]
+    if machine.l3_bank is not None:
+        lines.append(
+            f"Shared L3           {machine.num_l3_banks} banks x "
+            f"{machine.l3_bank.size_bytes // (1024 * 1024)}MB, "
+            f"{machine.l3_bank.round_trip}-cycle RT"
+        )
+    lines.append(
+        f"On-chip net         2D mesh, {machine.mesh.cycles_per_hop} "
+        f"cycles/hop, {machine.mesh.link_bytes * 8}-bit links"
+    )
+    lines.append(f"Off-chip mem        {machine.mem_round_trip}-cycle RT")
+    return "\n".join(lines)
+
+
+def render_storage(report: StorageReport) -> str:
+    """Section VII-A: control and storage overhead."""
+    return "\n".join(
+        [
+            f"Coherent hierarchy storage:   {report.coherent_kbytes:8.1f} KB",
+            f"Incoherent hierarchy storage: {report.incoherent_kbytes:8.1f} KB",
+            f"Savings (incoherent):         {report.saved_kbytes:8.1f} KB "
+            f"(paper: ~102 KB)",
+        ]
+    )
+
+
+def render_fig9(results: dict[str, dict[str, RunResult]]) -> str:
+    """Figure 9: normalized execution time + stall breakdown (intra)."""
+    header = ["app", "config", "norm"] + [c.value for c in StallCat]
+    lines = ["  ".join(f"{h:>13s}" for h in header)]
+    ratios: dict[str, float] = {}
+    for app, per_cfg in results.items():
+        base = per_cfg["HCC"].exec_time
+        for cfg, res in per_cfg.items():
+            norm = res.exec_time / base
+            b = res.breakdown()
+            cells = [f"{app:>13s}", f"{cfg:>13s}", f"{norm:13.3f}"] + [
+                f"{b[c.value] / base:13.3f}" for c in StallCat
+            ]
+            lines.append("  ".join(cells))
+            ratios.setdefault(cfg, 0.0)
+            ratios[cfg] += norm
+    n_apps = len(results)
+    lines.append("-" * len(lines[0]))
+    for cfg, total in ratios.items():
+        lines.append(f"{'MEAN':>13s}  {cfg:>13s}  {total / n_apps:13.3f}")
+    return "\n".join(lines)
+
+
+def render_fig10(results: dict[str, dict[str, RunResult]]) -> str:
+    """Figure 10: B+M+I traffic normalized to HCC, four-way breakdown."""
+    header = ["app", "norm"] + [c.value for c in TrafficCat]
+    lines = ["  ".join(f"{h:>13s}" for h in header)]
+    total_ratio = 0.0
+    for app, per_cfg in results.items():
+        hcc = per_cfg["HCC"].stats
+        bmi = per_cfg["B+M+I"].stats
+        base = hcc.total_flits or 1
+        norm = bmi.total_flits / base
+        total_ratio += norm
+        cells = [f"{app:>13s}", f"{norm:13.3f}"] + [
+            f"{bmi.traffic[c] / base:13.3f}" for c in TrafficCat
+        ]
+        lines.append("  ".join(cells))
+    lines.append("-" * len(lines[0]))
+    lines.append(
+        f"{'MEAN':>13s}  {total_ratio / max(1, len(results)):13.3f}  "
+        f"(paper: ~0.96)"
+    )
+    return "\n".join(lines)
+
+
+def render_fig11(results: dict[str, dict[str, RunResult]]) -> str:
+    """Figure 11: global WB/INV counts of Addr+L normalized to Addr."""
+    header = ["app", "global WB", "global INV"]
+    lines = ["  ".join(f"{h:>12s}" for h in header)]
+    for app, per_cfg in results.items():
+        addr = per_cfg["Addr"].stats
+        addr_l = per_cfg["Addr+L"].stats
+        wb = addr_l.global_wb_lines / max(1, addr.global_wb_lines)
+        inv = addr_l.global_inv_lines / max(1, addr.global_inv_lines)
+        lines.append(f"{app:>12s}  {wb:12.3f}  {inv:12.3f}")
+    return "\n".join(lines)
+
+
+def render_fig12(results: dict[str, dict[str, RunResult]]) -> str:
+    """Figure 12: inter-block normalized execution time."""
+    lines = [f"{'app':>10s}  " + "  ".join(f"{c.name:>8s}" for c in INTER_CONFIGS)]
+    means = {c.name: 0.0 for c in INTER_CONFIGS}
+    for app, per_cfg in results.items():
+        base = per_cfg["HCC"].exec_time
+        cells = [f"{app:>10s}"]
+        for cfg in INTER_CONFIGS:
+            norm = per_cfg[cfg.name].exec_time / base
+            means[cfg.name] += norm
+            cells.append(f"{norm:8.3f}")
+        lines.append("  ".join(cells))
+    lines.append("-" * len(lines[0]))
+    n = max(1, len(results))
+    lines.append(
+        f"{'MEAN':>10s}  "
+        + "  ".join(f"{means[c.name] / n:8.3f}" for c in INTER_CONFIGS)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Experiment runner: one (application × configuration) simulation per call.
+
+The intra-block experiments (Figures 9 and 10) run the SPLASH-2 workloads on
+the 16-core single-block machine over the upper Table II configurations; the
+inter-block experiments (Figures 11 and 12) run the NAS/Jacobi IR workloads
+on the 4-block × 8-core machine over the lower Table II configurations.
+Every run is functionally verified before its statistics are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.params import MachineParams, inter_block_machine, intra_block_machine
+from repro.core.config import ExperimentConfig
+from repro.core.machine import Machine
+from repro.sim.stats import MachineStats, StallCat
+from repro.workloads import MODEL_ONE, MODEL_TWO
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Statistics of one verified (app, config) run."""
+
+    app: str
+    config: str
+    stats: MachineStats
+
+    @property
+    def exec_time(self) -> int:
+        return self.stats.exec_time
+
+    def breakdown(self) -> dict[str, float]:
+        return self.stats.breakdown()
+
+
+def run_intra(
+    app: str,
+    config: ExperimentConfig,
+    *,
+    num_threads: int = 16,
+    scale: float = 1.0,
+    machine_params: MachineParams | None = None,
+    verify: bool = True,
+) -> RunResult:
+    """Run a Model-1 (SPLASH) workload on the intra-block machine."""
+    if app not in MODEL_ONE:
+        raise ConfigError(f"unknown Model-1 workload {app!r}")
+    params = machine_params or intra_block_machine(num_threads)
+    machine = Machine(params, config, num_threads=num_threads)
+    workload = MODEL_ONE[app](scale=scale)
+    if verify:
+        stats = workload.run_on(machine)
+    else:
+        workload.prepare(machine)
+        stats = machine.run()
+    return RunResult(app, config.name, stats)
+
+
+def run_inter(
+    app: str,
+    config: ExperimentConfig,
+    *,
+    num_blocks: int = 4,
+    cores_per_block: int = 8,
+    scale: float = 1.0,
+    machine_params: MachineParams | None = None,
+    verify: bool = True,
+) -> RunResult:
+    """Run a Model-2 (NAS/Jacobi) workload on the inter-block machine."""
+    if app not in MODEL_TWO:
+        raise ConfigError(f"unknown Model-2 workload {app!r}")
+    params = machine_params or inter_block_machine(num_blocks, cores_per_block)
+    machine = Machine(params, config, num_threads=params.num_cores)
+    workload = MODEL_TWO[app](scale=scale)
+    if verify:
+        stats = workload.run_on(machine)
+    else:
+        runner = workload.make_runner(machine)
+        runner.spawn_all()
+        stats = machine.run()
+    return RunResult(app, config.name, stats)
+
+
+def sweep_intra(
+    apps: list[str],
+    configs: list[ExperimentConfig],
+    **kwargs,
+) -> dict[str, dict[str, RunResult]]:
+    """{app: {config name: result}} over the intra-block matrix."""
+    return {
+        app: {cfg.name: run_intra(app, cfg, **kwargs) for cfg in configs}
+        for app in apps
+    }
+
+
+def sweep_inter(
+    apps: list[str],
+    configs: list[ExperimentConfig],
+    **kwargs,
+) -> dict[str, dict[str, RunResult]]:
+    """{app: {config name: result}} over the inter-block matrix."""
+    return {
+        app: {cfg.name: run_inter(app, cfg, **kwargs) for cfg in configs}
+        for app in apps
+    }
+
+
+def normalized_exec(results: dict[str, RunResult], baseline: str = "HCC") -> dict[str, float]:
+    """Execution times of one app's configs normalized to *baseline*."""
+    base = results[baseline].exec_time
+    if base <= 0:
+        raise ConfigError("baseline execution time is zero")
+    return {name: r.exec_time / base for name, r in results.items()}
+
+
+def stall_fractions(result: RunResult) -> dict[str, float]:
+    """Figure 9 stacked-bar fractions (each category / exec time)."""
+    b = result.breakdown()
+    total = result.exec_time or 1
+    return {cat.value: b[cat.value] / total for cat in StallCat}

@@ -1,0 +1,156 @@
+"""Write-buffer ordering model (Section III-C, Figure 3).
+
+WB and INV proceed down the pipeline like stores and drain through the write
+buffer.  The section defines which reorderings are *forbidden*, which are
+*desirable to keep in order*, and which are *always allowed*:
+
+==========================  =============================================
+pair (program order)        rule
+==========================  =============================================
+``INV(x) -> ld x``          forbidden to reorder (load must see fresh value)
+``st x  -> WB(x)``          forbidden to reorder (WB must post the new value)
+``ld x  -> INV(x)``         keep in order (desirable; avoids extra misses)
+``WB(x) -> st x``           keep in order (desirable; posts values promptly)
+``st x -> INV(x) -> st x``  keep both orders (desirable)
+``ld x  <-> WB(x)``         always reorderable (WB does not change the line)
+==========================  =============================================
+
+This module provides (a) :func:`may_reorder`, the pairwise oracle; (b)
+:func:`check_execution_order`, which validates a proposed execution order of
+same-address accesses against a program order; and (c) :class:`WriteBuffer`,
+a drain model showing that store-buffer FIFO-per-address draining plus the
+"loads may bypass WB but not INV" pipeline rule enforces every constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.errors import OrderingError
+
+
+class AccKind(str, Enum):
+    LOAD = "ld"
+    STORE = "st"
+    WB = "WB"
+    INV = "INV"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One same-address access in a reordering scenario."""
+
+    kind: AccKind
+    addr: int
+    seq: int = 0  # program-order position (assigned by callers/tests)
+
+
+#: (earlier kind, later kind) pairs that hardware/compiler must never swap.
+FORBIDDEN_SWAPS: frozenset[tuple[AccKind, AccKind]] = frozenset(
+    {
+        (AccKind.INV, AccKind.LOAD),  # Figure 3a: INV(x) -> ld x
+        (AccKind.STORE, AccKind.WB),  # Figure 3b: st x -> WB(x)
+    }
+)
+
+#: Pairs that should be kept in order for performance (Figure 3a-c).  A
+#: strict checker treats these as errors too; a permissive one only reports.
+DESIRABLE_ORDER: frozenset[tuple[AccKind, AccKind]] = frozenset(
+    {
+        (AccKind.LOAD, AccKind.INV),
+        (AccKind.WB, AccKind.STORE),
+        (AccKind.STORE, AccKind.INV),
+        (AccKind.INV, AccKind.STORE),
+    }
+)
+
+
+def may_reorder(first: Access, second: Access, *, strict: bool = False) -> bool:
+    """May *second* (later in program order) execute before *first*?
+
+    Accesses to different addresses never constrain each other here (fences
+    are outside Section III-C's scope).  With ``strict=True`` the desirable
+    orders of Figure 3 are also enforced.
+    """
+    if first.addr != second.addr:
+        return True
+    pair = (first.kind, second.kind)
+    if pair in FORBIDDEN_SWAPS:
+        return False
+    if strict and pair in DESIRABLE_ORDER:
+        return False
+    return True
+
+
+def check_execution_order(
+    program: list[Access], execution: list[Access], *, strict: bool = False
+) -> None:
+    """Raise :class:`OrderingError` if *execution* illegally reorders *program*.
+
+    Both lists must contain the same accesses (compared by identity of their
+    ``seq`` tags); *execution* is the order the machine performed them in.
+    """
+    if sorted(a.seq for a in program) != sorted(a.seq for a in execution):
+        raise OrderingError("execution is not a permutation of the program")
+    pos = {a.seq: i for i, a in enumerate(execution)}
+    for i, early in enumerate(program):
+        for late in program[i + 1 :]:
+            if pos[late.seq] < pos[early.seq] and not may_reorder(
+                early, late, strict=strict
+            ):
+                raise OrderingError(
+                    f"illegal reorder: {late.kind.value}({late.addr:#x}) "
+                    f"executed before {early.kind.value}({early.addr:#x})"
+                )
+
+
+class WriteBuffer:
+    """FIFO-per-address drain model for stores, WBs, and INVs.
+
+    Stores/WBs/INVs retire into the buffer in program order and drain in
+    order per address.  ``load_may_proceed`` captures the pipeline rule: a
+    load may bypass buffered WBs to its address (the WB does not change the
+    local line) but must wait for a buffered INV to its address to drain.
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise OrderingError("write buffer needs at least one entry")
+        self.capacity = capacity
+        self._entries: list[Access] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def retire(self, access: Access) -> None:
+        """Place a store/WB/INV into the buffer (program order)."""
+        if access.kind == AccKind.LOAD:
+            raise OrderingError("loads do not enter the write buffer")
+        if self.full:
+            raise OrderingError("write buffer overflow — drain first")
+        self._entries.append(access)
+
+    def load_may_proceed(self, addr: int) -> bool:
+        """May a load to *addr* execute now, given buffered entries?"""
+        return not any(
+            e.addr == addr and e.kind == AccKind.INV for e in self._entries
+        )
+
+    def pending_store_value_visible(self, addr: int) -> bool:
+        """True when a buffered store to *addr* would be forwarded to a load."""
+        return any(e.addr == addr and e.kind == AccKind.STORE for e in self._entries)
+
+    def drain_one(self) -> Access:
+        """Drain the oldest entry (global FIFO ⇒ per-address FIFO)."""
+        if not self._entries:
+            raise OrderingError("drain from empty write buffer")
+        return self._entries.pop(0)
+
+    def drain_all(self) -> list[Access]:
+        out, self._entries = self._entries, []
+        return out

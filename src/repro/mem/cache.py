@@ -1,0 +1,104 @@
+"""Set-associative cache array with true-LRU replacement.
+
+This models the tag/data arrays shared by every cache in the hierarchy (L1,
+L2 banks, L3 banks).  It is purely structural: coherence policy (what happens
+on a miss, when to write back) lives in :mod:`repro.coherence`.
+
+LRU is realized with Python dict insertion order: a hit pops and reinserts
+the line, eviction removes the oldest entry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.common.params import CacheParams
+from repro.mem.line import CacheLine
+
+
+class Cache:
+    """One cache (or one bank of a banked cache)."""
+
+    def __init__(self, params: CacheParams, name: str = "cache") -> None:
+        self.params = params
+        self.name = name
+        self._sets: list[dict[int, CacheLine]] = [
+            {} for _ in range(params.num_sets)
+        ]
+
+    # -- geometry -----------------------------------------------------------
+
+    def set_index(self, line_addr: int) -> int:
+        return line_addr % self.params.num_sets
+
+    def line_id(self, line_addr: int) -> int:
+        """Position of a resident line in the tag array: set*assoc + way.
+
+        Used by the MEB, whose entries are line IDs (9 bits for a 32 KB /
+        64 B-line cache) rather than full addresses.
+        """
+        idx = self.set_index(line_addr)
+        for way, tag in enumerate(self._sets[idx]):
+            if tag == line_addr:
+                return idx * self.params.assoc + way
+        raise KeyError(f"line {line_addr:#x} not resident in {self.name}")
+
+    # -- lookup / insert ----------------------------------------------------
+
+    def lookup(self, line_addr: int, *, touch: bool = True) -> CacheLine | None:
+        """Return the resident line or None.  ``touch`` updates LRU order."""
+        s = self._sets[self.set_index(line_addr)]
+        line = s.get(line_addr)
+        if line is not None and touch:
+            del s[line_addr]
+            s[line_addr] = line
+        return line
+
+    def insert(self, line: CacheLine) -> CacheLine | None:
+        """Insert *line* as MRU; return the evicted victim, if any.
+
+        The caller owns victim handling (dirty victims must be written back
+        by the coherence policy before their state is dropped).
+        """
+        s = self._sets[self.set_index(line.line_addr)]
+        victim: CacheLine | None = None
+        if line.line_addr in s:
+            del s[line.line_addr]
+        elif len(s) >= self.params.assoc:
+            oldest = next(iter(s))
+            victim = s.pop(oldest)
+        s[line.line_addr] = line
+        return victim
+
+    def remove(self, line_addr: int) -> CacheLine | None:
+        """Invalidate (drop) a line; return it if it was resident."""
+        s = self._sets[self.set_index(line_addr)]
+        return s.pop(line_addr, None)
+
+    # -- traversal ----------------------------------------------------------
+
+    def lines(self) -> Iterator[CacheLine]:
+        """All resident lines (tag-array walk order)."""
+        for s in self._sets:
+            yield from s.values()
+
+    def resident_line_addrs(self) -> list[int]:
+        return [ln.line_addr for ln in self.lines()]
+
+    def dirty_lines(self) -> list[CacheLine]:
+        return [ln for ln in self.lines() if ln.dirty]
+
+    def clear(self, *, on_evict: Callable[[CacheLine], Any] | None = None) -> int:
+        """Drop every resident line, optionally visiting each; return count."""
+        n = 0
+        for s in self._sets:
+            if on_evict is not None:
+                for line in s.values():
+                    on_evict(line)
+            n += len(s)
+            s.clear()
+        return n
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,74 @@
+"""Cache-line state.
+
+Section III-B: lines carry a single Valid bit plus *per-word* Dirty bits so a
+WB transfers only dirty words and two cores updating different words of the
+same line never clobber each other.  The same class carries a MESI state
+field for the hardware-coherent baseline; incoherent caches leave it at
+``MESIState.NA``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class MESIState(str, Enum):
+    """Stable states of the directory MESI baseline, plus NA for incoherent."""
+
+    M = "M"
+    E = "E"
+    S = "S"
+    I = "I"  # noqa: E741 - canonical protocol-state name
+    NA = "NA"
+
+
+@dataclass
+class CacheLine:
+    """One resident cache line.
+
+    ``data`` holds one Python value per word (functional simulation: caches
+    carry real values, so stale reads genuinely return stale data).
+    ``dirty_mask`` has bit *i* set when word *i* has been written locally and
+    not yet written back.
+    """
+
+    line_addr: int  # address of the line in units of lines (addr // line_bytes)
+    data: list[Any]
+    dirty_mask: int = 0
+    state: MESIState = MESIState.NA
+
+    def word_count(self) -> int:
+        return len(self.data)
+
+    @property
+    def dirty(self) -> bool:
+        return self.dirty_mask != 0
+
+    def dirty_words(self) -> list[int]:
+        """Indices of dirty words within the line."""
+        mask = self.dirty_mask
+        out: list[int] = []
+        i = 0
+        while mask:
+            if mask & 1:
+                out.append(i)
+            mask >>= 1
+            i += 1
+        return out
+
+    def num_dirty_words(self) -> int:
+        return self.dirty_mask.bit_count()
+
+    def mark_dirty(self, word: int) -> None:
+        if not 0 <= word < len(self.data):
+            raise IndexError(f"word {word} outside line of {len(self.data)} words")
+        self.dirty_mask |= 1 << word
+
+    def is_word_dirty(self, word: int) -> bool:
+        return bool(self.dirty_mask >> word & 1)
+
+    def clean(self) -> None:
+        """Clear all dirty bits (the line stays valid — post-WB state)."""
+        self.dirty_mask = 0

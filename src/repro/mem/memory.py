@@ -1,0 +1,51 @@
+"""Backing main memory: the functional word store.
+
+Memory holds one Python value per word address.  Unwritten words read as 0,
+matching zero-initialized allocations.  The store is sparse (dict-backed) so
+a large address space costs nothing until touched.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.params import WORD_BYTES
+
+
+class MainMemory:
+    """Sparse word-addressed value store."""
+
+    def __init__(self) -> None:
+        self._words: dict[int, Any] = {}
+
+    def read_word(self, word_addr: int) -> Any:
+        return self._words.get(word_addr, 0)
+
+    def write_word(self, word_addr: int, value: Any) -> None:
+        self._words[word_addr] = value
+
+    def read_line(self, line_addr: int, words_per_line: int) -> list[Any]:
+        base = line_addr * words_per_line
+        get = self._words.get
+        return [get(base + i, 0) for i in range(words_per_line)]
+
+    def write_line_words(
+        self, line_addr: int, words_per_line: int, data: list[Any], mask: int
+    ) -> None:
+        """Merge the words of *data* selected by *mask* into memory."""
+        base = line_addr * words_per_line
+        w = self._words
+        i = 0
+        while mask:
+            if mask & 1:
+                w[base + i] = data[i]
+            mask >>= 1
+            i += 1
+
+    @staticmethod
+    def word_addr(byte_addr: int) -> int:
+        return byte_addr // WORD_BYTES
+
+    @property
+    def touched_words(self) -> int:
+        return len(self._words)

@@ -1,0 +1,106 @@
+"""2D mesh interconnect model (Table III: 4 cycles/hop, 128-bit links).
+
+Tiles are laid out row-major on the smallest square that fits all cores; each
+tile hosts one core and one L2 bank.  L3 banks and the off-chip memory
+controllers sit at the four chip corners.  Latency between tiles is Manhattan
+distance times the per-hop cost; traffic is counted in 128-bit flits with the
+header riding the first flit.
+
+Contention is not modeled — the paper's evaluation attributes differences to
+event counts and hierarchy levels, not link occupancy (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ConfigError
+from repro.common.params import MachineParams, MeshParams
+
+
+class Mesh:
+    """Topology and latency calculator for one chip."""
+
+    def __init__(self, machine: MachineParams) -> None:
+        self.machine = machine
+        self.params: MeshParams = machine.mesh
+        self.dim = machine.mesh_dim
+        if self.dim < 1:
+            raise ConfigError("mesh must have at least one tile")
+        corners = [
+            (0, 0),
+            (0, self.dim - 1),
+            (self.dim - 1, 0),
+            (self.dim - 1, self.dim - 1),
+        ]
+        self._corner_tiles = corners
+        self._l3_tiles = [
+            corners[i % len(corners)] for i in range(machine.num_l3_banks)
+        ]
+
+    # -- tile coordinates ---------------------------------------------------
+
+    def core_tile(self, core_id: int) -> tuple[int, int]:
+        if not 0 <= core_id < self.machine.num_cores:
+            raise ConfigError(f"core {core_id} out of range")
+        return divmod(core_id, self.dim)
+
+    def l2_bank_tile(self, bank: int) -> tuple[int, int]:
+        """L2 banks are co-located with cores (one bank per core)."""
+        return self.core_tile(bank)
+
+    def l3_bank_tile(self, bank: int) -> tuple[int, int]:
+        if not 0 <= bank < len(self._l3_tiles):
+            raise ConfigError(f"L3 bank {bank} out of range")
+        return self._l3_tiles[bank]
+
+    def mem_controller_tile(self, which: int = 0) -> tuple[int, int]:
+        """Off-chip memory attaches at each chip corner."""
+        return self._corner_tiles[which % 4]
+
+    def nearest_mem_tile(self, from_tile: tuple[int, int]) -> tuple[int, int]:
+        return min(self._corner_tiles, key=lambda t: self.hops_between(from_tile, t))
+
+    # -- latency ------------------------------------------------------------
+
+    def hops_between(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def latency(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        """One-way network latency in cycles between two tiles."""
+        return self.hops_between(a, b) * self.params.cycles_per_hop
+
+    def core_to_l2(self, core_id: int, bank: int) -> int:
+        return self.latency(self.core_tile(core_id), self.l2_bank_tile(bank))
+
+    def core_to_l3(self, core_id: int, bank: int) -> int:
+        return self.latency(self.core_tile(core_id), self.l3_bank_tile(bank))
+
+    def l2_to_l3(self, l2_bank: int, l3_bank: int) -> int:
+        return self.latency(self.l2_bank_tile(l2_bank), self.l3_bank_tile(l3_bank))
+
+    def core_to_core(self, a: int, b: int) -> int:
+        return self.latency(self.core_tile(a), self.core_tile(b))
+
+    def avg_hops(self) -> float:
+        """Mean hop count between distinct tiles (used by calibration)."""
+        tiles = [self.core_tile(c) for c in range(self.machine.num_cores)]
+        total = n = 0
+        for i, a in enumerate(tiles):
+            for b in tiles[i + 1 :]:
+                total += self.hops_between(a, b)
+                n += 1
+        return total / n if n else 0.0
+
+    # -- traffic ------------------------------------------------------------
+
+    def flits(self, payload_bytes: int) -> int:
+        return self.params.flits(payload_bytes)
+
+    def control_flits(self) -> int:
+        """A control message (request, ack, invalidation) is one flit."""
+        return 1
+
+    def data_flits(self, payload_bytes: int) -> int:
+        """Data message: header flit plus payload flits."""
+        return 1 + math.ceil(payload_bytes / self.params.link_bytes)

@@ -1,0 +1,86 @@
+"""Thread-to-core placement and block membership.
+
+Section V fixes two properties the hardware relies on: one-to-one
+thread-to-core mapping, and no migration after spawn.  The runtime fills the
+per-L2 ThreadMap from a :class:`Placement`; tests permute placements to show
+that level-adaptively annotated programs run correctly under any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.params import MachineParams
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Immutable thread→core assignment for one run."""
+
+    machine: MachineParams
+    thread_to_core: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        cores = self.thread_to_core
+        if len(set(cores)) != len(cores):
+            raise ConfigError("placement must be one-to-one (no core reuse)")
+        for c in cores:
+            if not 0 <= c < self.machine.num_cores:
+                raise ConfigError(f"core {c} out of range")
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.thread_to_core)
+
+    def core_of(self, tid: int) -> int:
+        return self.thread_to_core[tid]
+
+    def thread_of(self, core: int) -> int | None:
+        try:
+            return self.thread_to_core.index(core)
+        except ValueError:
+            return None
+
+    def block_of_core(self, core: int) -> int:
+        return core // self.machine.cores_per_block
+
+    def block_of_thread(self, tid: int) -> int:
+        return self.block_of_core(self.core_of(tid))
+
+    def same_block(self, tid_a: int, tid_b: int) -> bool:
+        return self.block_of_thread(tid_a) == self.block_of_thread(tid_b)
+
+    def threads_in_block(self, block: int) -> list[int]:
+        return [
+            t
+            for t, c in enumerate(self.thread_to_core)
+            if self.block_of_core(c) == block
+        ]
+
+
+def identity_placement(machine: MachineParams, num_threads: int) -> Placement:
+    """Thread *i* on core *i* — the default, block-contiguous mapping."""
+    if num_threads > machine.num_cores:
+        raise ConfigError(
+            f"{num_threads} threads exceed {machine.num_cores} cores"
+        )
+    return Placement(machine, tuple(range(num_threads)))
+
+
+def round_robin_placement(machine: MachineParams, num_threads: int) -> Placement:
+    """Scatter consecutive threads across blocks (worst case for locality)."""
+    if num_threads > machine.num_cores:
+        raise ConfigError(
+            f"{num_threads} threads exceed {machine.num_cores} cores"
+        )
+    cpb = machine.cores_per_block
+    nb = machine.num_blocks
+    cores = []
+    for t in range(num_threads):
+        block = t % nb
+        slot = t // nb
+        if slot >= cpb:
+            raise ConfigError("round-robin placement overflowed a block")
+        cores.append(block * cpb + slot)
+    return Placement(machine, tuple(cores))

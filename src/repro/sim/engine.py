@@ -1,0 +1,80 @@
+"""Discrete-event simulation kernel.
+
+A minimal, fast event wheel: callbacks scheduled at absolute times, executed
+in time order (FIFO among equal times).  Cores, sync controllers, and the
+message-passing layer all drive themselves by scheduling callbacks here.
+
+The engine is *operation-level*: components compute an operation's latency
+analytically from the modeled hierarchy and schedule a single completion
+event, instead of simulating every cycle.  This is the substitution for the
+paper's SESC cycle-level simulator (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.common.errors import DeadlockError, SimulationError
+
+
+class Engine:
+    """Time-ordered callback executor with deadlock detection."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        #: Number of entities (cores) that have not finished their program.
+        self._live_entities: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def register_entity(self) -> None:
+        """Declare one more entity whose completion ends the simulation."""
+        self._live_entities += 1
+
+    def entity_finished(self) -> None:
+        """Declare that one registered entity has run to completion."""
+        if self._live_entities <= 0:
+            raise SimulationError("entity_finished() without matching register")
+        self._live_entities -= 1
+
+    @property
+    def live_entities(self) -> int:
+        return self._live_entities
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run *callback* at ``now + delay`` (delay in cycles, >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + int(delay), self._seq, callback))
+
+    def run(self, max_cycles: int | None = None) -> int:
+        """Drain the event queue; return the finishing time in cycles.
+
+        Raises :class:`DeadlockError` if live entities remain when the queue
+        empties — every blocked core must have a wakeup path (a sync grant or
+        a message arrival), so an empty queue with live entities means the
+        simulated program deadlocked (e.g. a barrier some thread never
+        reaches).
+        """
+        while self._queue:
+            time, _, callback = heapq.heappop(self._queue)
+            if max_cycles is not None and time > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={max_cycles} "
+                    f"(next event at {time})"
+                )
+            self._now = time
+            callback()
+        if self._live_entities > 0:
+            raise DeadlockError(
+                f"{self._live_entities} entities still blocked with no pending "
+                "events — simulated program deadlocked"
+            )
+        return self._now

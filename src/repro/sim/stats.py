@@ -1,0 +1,140 @@
+"""Statistics accounting: stall categories (Figure 9) and traffic (Figure 10).
+
+The paper breaks execution time into five categories — *INV stall*, *WB
+stall*, *lock stall*, *barrier stall*, and *rest* — and network traffic into
+four — *memory* (L2↔memory), *linefill* (read/write miss fills), *writeback*,
+and *invalidation*.  We accumulate exactly those buckets, per core for stalls
+and machine-wide for traffic, plus raw event counters used by Figure 11 and
+the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class StallCat(str, Enum):
+    """Execution-time categories of Figure 9."""
+
+    INV = "inv_stall"
+    WB = "wb_stall"
+    LOCK = "lock_stall"
+    BARRIER = "barrier_stall"
+    REST = "rest"
+
+
+class TrafficCat(str, Enum):
+    """Network-traffic categories of Figure 10 (in 128-bit flits).
+
+    SYNC covers the uncacheable synchronization requests/grants served by
+    the shared-cache controller; it is kept separate so Figure 10's
+    *invalidation* column reflects only coherence invalidations (zero in
+    the incoherent hierarchy, as the paper observes).
+    """
+
+    MEMORY = "memory"
+    LINEFILL = "linefill"
+    WRITEBACK = "writeback"
+    INVALIDATION = "invalidation"
+    SYNC = "sync"
+
+
+@dataclass
+class CoreStats:
+    """Per-core cycle and event accounting."""
+
+    stalls: dict[StallCat, int] = field(
+        default_factory=lambda: {c: 0 for c in StallCat}
+    )
+    loads: int = 0
+    stores: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    wb_ops: int = 0  # WB instructions executed (any flavor)
+    inv_ops: int = 0  # INV instructions executed (any flavor)
+    lines_written_back: int = 0
+    lines_invalidated: int = 0
+    finish_time: int = 0
+
+    def add_stall(self, cat: StallCat, cycles: int) -> None:
+        self.stalls[cat] += int(cycles)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.stalls.values())
+
+
+@dataclass
+class MachineStats:
+    """Machine-wide accounting for one simulation run."""
+
+    per_core: list[CoreStats]
+    traffic: dict[TrafficCat, int] = field(
+        default_factory=lambda: {c: 0 for c in TrafficCat}
+    )
+    #: Level-adaptive accounting for Figure 11: operations that reached the
+    #: global level (WB all the way to L3 / INV down from L2).
+    global_wb_lines: int = 0
+    global_inv_lines: int = 0
+    local_wb_lines: int = 0
+    local_inv_lines: int = 0
+    #: Directory protocol event counters (HCC runs).
+    dir_invalidations: int = 0
+    dir_forwards: int = 0
+    exec_time: int = 0
+    #: When True, traffic accounting is suspended (set before the end-of-run
+    #: cache flush so verification writebacks do not pollute Figure 10).
+    frozen: bool = False
+
+    @classmethod
+    def for_cores(cls, num_cores: int) -> "MachineStats":
+        return cls(per_core=[CoreStats() for _ in range(num_cores)])
+
+    def add_traffic(self, cat: TrafficCat, flits: int) -> None:
+        if not self.frozen:
+            self.traffic[cat] += int(flits)
+
+    @property
+    def total_flits(self) -> int:
+        return sum(self.traffic.values())
+
+    def stall_total(self, cat: StallCat) -> int:
+        return sum(core.stalls[cat] for core in self.per_core)
+
+    def breakdown(self) -> dict[str, float]:
+        """Average per-core cycle breakdown, normalized to exec_time.
+
+        Figure 9 plots, for each configuration, execution time split into the
+        five categories.  We report the mean across cores of each category
+        (so the bars sum to mean total busy time) scaled onto the critical
+        path ``exec_time``.
+        """
+        n = max(1, len(self.per_core))
+        mean = {c: self.stall_total(c) / n for c in StallCat}
+        busy = sum(mean.values())
+        if busy <= 0:
+            return {c.value: 0.0 for c in StallCat}
+        scale = self.exec_time / busy if self.exec_time > 0 else 1.0
+        return {c.value: mean[c] * scale for c in StallCat}
+
+    def summary(self) -> dict[str, int]:
+        """Flat counter summary used by tests and reports."""
+        return {
+            "exec_time": self.exec_time,
+            "loads": sum(c.loads for c in self.per_core),
+            "stores": sum(c.stores for c in self.per_core),
+            "l1_hits": sum(c.l1_hits for c in self.per_core),
+            "l1_misses": sum(c.l1_misses for c in self.per_core),
+            "wb_ops": sum(c.wb_ops for c in self.per_core),
+            "inv_ops": sum(c.inv_ops for c in self.per_core),
+            "lines_written_back": sum(c.lines_written_back for c in self.per_core),
+            "lines_invalidated": sum(c.lines_invalidated for c in self.per_core),
+            "global_wb_lines": self.global_wb_lines,
+            "global_inv_lines": self.global_inv_lines,
+            "local_wb_lines": self.local_wb_lines,
+            "local_inv_lines": self.local_inv_lines,
+            "dir_invalidations": self.dir_invalidations,
+            "dir_forwards": self.dir_forwards,
+            "total_flits": self.total_flits,
+        }

@@ -1,0 +1,174 @@
+"""Synchronization controller in the shared-cache controller (Section III-D).
+
+Machines without hardware coherence cannot spin on cached flags, so — like
+Tera, RP3, and Cedar — synchronization lives in the memory system: when a
+synchronization variable is declared, the controller of the shared cache
+allocates a synchronization-table entry, intercepts requests, and responds
+only when the requester may proceed.  All requests are uncacheable.
+
+Timing: a request pays the one-way mesh latency to the controller bank plus
+a fixed service time; the response pays the return trip when it is finally
+sent.  Synchronization variables are interleaved across shared-cache banks
+by ID (L2 banks intra-block; L3 banks when the machine has an L3, since
+inter-block synchronization must be visible chip-wide).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import SyncError
+from repro.noc.mesh import Mesh
+from repro.sim.engine import Engine
+from repro.sim.stats import TrafficCat, MachineStats
+from repro.sync.primitives import BarrierState, FlagState, LockState
+
+#: Fixed controller occupancy per request (cycles).
+SERVICE_CYCLES = 3
+
+
+class SyncController:
+    """Queued barrier/lock/flag service attached to shared-cache banks."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        engine: Engine,
+        stats: MachineStats,
+    ) -> None:
+        self.mesh = mesh
+        self.engine = engine
+        self.stats = stats
+        self._locks: dict[int, LockState] = {}
+        self._barriers: dict[int, BarrierState] = {}
+        self._flags: dict[int, FlagState] = {}
+        machine = mesh.machine
+        self._at_l3 = machine.num_l3_banks > 0
+        self._num_banks = machine.num_l3_banks if self._at_l3 else machine.num_cores
+
+    # -- placement / latency ---------------------------------------------------
+
+    def _bank_tile(self, var_id: int) -> tuple[int, int]:
+        bank = var_id % self._num_banks
+        if self._at_l3:
+            return self.mesh.l3_bank_tile(bank)
+        return self.mesh.l2_bank_tile(bank)
+
+    def _one_way(self, core: int, var_id: int) -> int:
+        return self.mesh.latency(self.mesh.core_tile(core), self._bank_tile(var_id))
+
+    def _count_msg(self) -> None:
+        # Synchronization requests are uncacheable control flits, tracked
+        # apart from coherence traffic (see TrafficCat.SYNC).
+        self.stats.add_traffic(TrafficCat.SYNC, 1)
+
+    # -- declarations -------------------------------------------------------------
+
+    def declare_barrier(self, bid: int, count: int) -> None:
+        existing = self._barriers.get(bid)
+        if existing is not None and existing.count != count:
+            raise SyncError(f"barrier {bid} redeclared with different count")
+        if existing is None:
+            self._barriers[bid] = BarrierState(count)
+
+    def _lock(self, lid: int) -> LockState:
+        lock = self._locks.get(lid)
+        if lock is None:
+            lock = self._locks[lid] = LockState()
+        return lock
+
+    def _flag(self, fid: int) -> FlagState:
+        flag = self._flags.get(fid)
+        if flag is None:
+            flag = self._flags[fid] = FlagState()
+        return flag
+
+    # -- operations -----------------------------------------------------------------
+    #
+    # Every operation takes a `resume` callback invoked (via the engine) when
+    # the requester may continue.  The caller measures its own stall time.
+
+    def barrier_arrive(
+        self, core: int, bid: int, count: int, resume: Callable[[], None]
+    ) -> None:
+        self.declare_barrier(bid, count)
+        travel = self._one_way(core, bid) + SERVICE_CYCLES
+        self._count_msg()
+
+        def at_controller() -> None:
+            released = self._barriers[bid].arrive(core, resume)
+            if released is not None:
+                for waiter_core, waiter_resume in released:
+                    self._count_msg()
+                    self.engine.schedule(
+                        self._one_way(waiter_core, bid), waiter_resume
+                    )
+
+        self.engine.schedule(travel, at_controller)
+
+    def lock_acquire(self, core: int, lid: int, resume: Callable[[], None]) -> None:
+        travel = self._one_way(core, lid) + SERVICE_CYCLES
+        self._count_msg()
+
+        def at_controller() -> None:
+            granted = self._lock(lid).acquire(core, resume)
+            if granted:
+                self._count_msg()
+                self.engine.schedule(self._one_way(core, lid), resume)
+            # else: queued; the release path schedules the grant.
+
+        self.engine.schedule(travel, at_controller)
+
+    def lock_release(self, core: int, lid: int, resume: Callable[[], None]) -> None:
+        travel = self._one_way(core, lid) + SERVICE_CYCLES
+        self._count_msg()
+
+        def at_controller() -> None:
+            nxt = self._lock(lid).release(core)
+            if nxt is not None:
+                nxt_core, nxt_resume = nxt
+                self._count_msg()
+                self.engine.schedule(self._one_way(nxt_core, lid), nxt_resume)
+
+        self.engine.schedule(travel, at_controller)
+        # The releaser does not wait for the controller: fire-and-forget.
+        self.engine.schedule(1, resume)
+
+    def flag_set(
+        self, core: int, fid: int, value: int, resume: Callable[[], None]
+    ) -> None:
+        travel = self._one_way(core, fid) + SERVICE_CYCLES
+        self._count_msg()
+
+        def at_controller() -> None:
+            ready = self._flag(fid).set(value)
+            for waiter_core, waiter_resume in ready:
+                self._count_msg()
+                self.engine.schedule(self._one_way(waiter_core, fid), waiter_resume)
+
+        self.engine.schedule(travel, at_controller)
+        self.engine.schedule(1, resume)
+
+    def flag_wait(
+        self, core: int, fid: int, threshold: int, resume: Callable[[], None]
+    ) -> None:
+        travel = self._one_way(core, fid) + SERVICE_CYCLES
+        self._count_msg()
+
+        def at_controller() -> None:
+            satisfied = self._flag(fid).wait(core, threshold, resume)
+            if satisfied:
+                self._count_msg()
+                self.engine.schedule(self._one_way(core, fid), resume)
+
+        self.engine.schedule(travel, at_controller)
+
+    # -- inspection -------------------------------------------------------------------
+
+    def lock_holder(self, lid: int) -> int | None:
+        lock = self._locks.get(lid)
+        return lock.holder if lock else None
+
+    def flag_value(self, fid: int) -> int:
+        flag = self._flags.get(fid)
+        return flag.value if flag else 0

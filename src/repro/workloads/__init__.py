@@ -1,0 +1,23 @@
+"""Workload registry: SPLASH-2 (Model 1) and NAS/Jacobi (Model 2)."""
+
+import repro.workloads.nas  # noqa: F401 - populate MODEL_TWO registry
+import repro.workloads.splash  # noqa: F401 - populate MODEL_ONE registry
+from repro.workloads.base import (
+    MODEL_ONE,
+    MODEL_TWO,
+    ModelOneWorkload,
+    ModelTwoWorkload,
+    Pattern,
+    register_model_one,
+    register_model_two,
+)
+
+__all__ = [
+    "MODEL_ONE",
+    "MODEL_TWO",
+    "ModelOneWorkload",
+    "ModelTwoWorkload",
+    "Pattern",
+    "register_model_one",
+    "register_model_two",
+]

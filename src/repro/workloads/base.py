@@ -1,0 +1,148 @@
+"""Workload interfaces and registry.
+
+Two workload families mirror the paper's two programming models:
+
+* :class:`ModelOneWorkload` — SPLASH-2-style pointer/irregular codes written
+  directly against the :class:`~repro.core.context.ThreadCtx` API with
+  Model-1 annotations.  Each declares its Table I communication patterns and
+  provides a functional verifier.
+* :class:`ModelTwoWorkload` — NAS-style loop-nest codes expressed in the
+  Model-2 IR, lowered by the mini-ROSE pipeline.  Verification compares the
+  simulated final memory against the reference interpreter.
+
+Registries map workload names to classes for the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.compiler.executor import ModelTwoRunner
+from repro.compiler.interp import interpret
+from repro.compiler.ir import IRProgram
+from repro.common.errors import ConfigError
+from repro.core.machine import Machine
+
+
+class Pattern:
+    """Communication-pattern labels of Table I."""
+
+    BARRIER = "barrier"
+    CRITICAL = "critical"
+    FLAG = "flag"
+    OUTSIDE_CRITICAL = "outside critical"
+    DATA_RACE = "data race"
+
+
+class ModelOneWorkload(ABC):
+    """A SPLASH-2-style intra-block workload."""
+
+    #: Registry name, e.g. "fft".
+    name: str = ""
+    #: Dominant communication pattern(s), Table I "Main" column.
+    main_patterns: tuple[str, ...] = ()
+    #: Secondary patterns, Table I "Other" column.
+    other_patterns: tuple[str, ...] = ()
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ConfigError("scale must be positive")
+        self.scale = scale
+
+    @abstractmethod
+    def prepare(self, machine: Machine) -> None:
+        """Allocate arrays, preload inputs, and spawn all threads."""
+
+    @abstractmethod
+    def verify(self, machine: Machine) -> None:
+        """Assert final memory holds the correct result (post ``run()``)."""
+
+    def run_on(self, machine: Machine):
+        """Convenience: prepare, run, verify; returns the statistics."""
+        self.prepare(machine)
+        stats = machine.run()
+        self.verify(machine)
+        return stats
+
+
+class ModelTwoWorkload(ABC):
+    """A NAS-style inter-block workload expressed in the Model-2 IR."""
+
+    name: str = ""
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ConfigError("scale must be positive")
+        self.scale = scale
+
+    @abstractmethod
+    def build(self) -> tuple[IRProgram, dict[str, list[Any]]]:
+        """Return (IR program, preloaded initial array contents)."""
+
+    #: Arrays whose final contents are checked against the interpreter.
+    verify_arrays: tuple[str, ...] = ()
+    #: Relative tolerance for float comparison (reduction reassociation).
+    rel_tol: float = 1e-6
+
+    def make_runner(self, machine: Machine) -> ModelTwoRunner:
+        program, preloads = self.build()
+        runner = ModelTwoRunner(machine, program)
+        for name, values in preloads.items():
+            runner.preload(name, values)
+        return runner
+
+    def reference(
+        self, nthreads: int, blocks: list[list[int]] | None = None
+    ) -> dict[str, list[Any]]:
+        program, preloads = self.build()
+        return interpret(program, nthreads, preloads, blocks=blocks)
+
+    def verify(self, runner: ModelTwoRunner) -> None:
+        """Compare the simulated final arrays against the interpreter."""
+        placement = runner.machine.placement
+        blocks = [
+            placement.threads_in_block(b)
+            for b in range(runner.machine.params.num_blocks)
+        ]
+        blocks = [b for b in blocks if b]
+        ref = self.reference(runner.n, blocks)
+        for name in self.verify_arrays:
+            got = runner.result(name)
+            want = ref[name]
+            for k, (g, w) in enumerate(zip(got, want)):
+                if isinstance(w, float) or isinstance(g, float):
+                    err = abs(g - w)
+                    bound = self.rel_tol * max(1.0, abs(w))
+                    assert err <= bound, (
+                        f"{self.name}: {name}[{k}] = {g!r}, expected {w!r}"
+                    )
+                else:
+                    assert g == w, (
+                        f"{self.name}: {name}[{k}] = {g!r}, expected {w!r}"
+                    )
+
+    def run_on(self, machine: Machine):
+        runner = self.make_runner(machine)
+        runner.spawn_all()
+        stats = machine.run()
+        self.verify(runner)
+        return stats
+
+
+MODEL_ONE: dict[str, type[ModelOneWorkload]] = {}
+MODEL_TWO: dict[str, type[ModelTwoWorkload]] = {}
+
+
+def register_model_one(cls: type[ModelOneWorkload]) -> type[ModelOneWorkload]:
+    if not cls.name:
+        raise ConfigError(f"{cls.__name__} has no name")
+    MODEL_ONE[cls.name] = cls
+    return cls
+
+
+def register_model_two(cls: type[ModelTwoWorkload]) -> type[ModelTwoWorkload]:
+    if not cls.name:
+        raise ConfigError(f"{cls.__name__} has no name")
+    MODEL_TWO[cls.name] = cls
+    return cls

@@ -1,0 +1,8 @@
+"""NAS-style Model-2 workloads (EP, IS, CG) plus 2D Jacobi."""
+
+from repro.workloads.nas.cg import CG, build_cg
+from repro.workloads.nas.ep import EP, build_ep
+from repro.workloads.nas.is_ import IS, build_is
+from repro.workloads.nas.jacobi import Jacobi, build_jacobi
+
+__all__ = ["CG", "EP", "IS", "Jacobi", "build_cg", "build_ep", "build_is", "build_jacobi"]

@@ -1,0 +1,226 @@
+"""NAS CG kernel: conjugate-gradient iterations with an ELL sparse matrix.
+
+The paper uses CG as its irregular Model-2 application (Figure 8): the
+sparse matrix-vector product reads ``p[colidx[...]]`` through an index array
+whose contents are only known at run time but *stable across iterations*, so
+an inspector gathers the producer of each element read and the executor
+issues ``INV_PROD`` only for remote-produced elements.
+
+The matrix is stored in ELLPACK form — exactly ``K`` nonzeros per row — so
+the loop nest stays in the analyzable affine subset (``colidx[K*i + k]``).
+Column indices are drawn uniformly at random: for a reader thread, a
+conflicting producer is uniform over the other ``n-1`` threads, of which
+``n - cores_per_block`` sit in other blocks — giving the ≈78% global-INV
+residue the paper reports for CG (Figure 11).
+
+One CG step per outer iteration:
+
+1. ``q = A·p``                         (parallel, irregular reads of ``p``)
+2. ``pq = p·q``, ``rho = r·r``         (reductions)
+3. ``alpha = rho/pq``                  (serial)
+4. ``x += alpha·p``; ``r -= alpha·q``  (parallel)
+5. ``rho_new = r·r``                   (reduction)
+6. ``beta = rho_new/rho``              (serial)
+7. ``p = r + beta·p``                  (parallel — the producer the
+   inspector resolves for step 1 of the next iteration)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.rng import make_rng
+from repro.compiler import ir
+from repro.workloads.base import ModelTwoWorkload, register_model_two
+
+
+def _dot_partial(a: str, b: str):
+    def fn(tid: int, n: int, env: dict[str, list[Any]]) -> list[Any]:
+        return [sum(x * y for x, y in zip(env[a], env[b]))]
+
+    return fn
+
+
+def _scalar_add(cur: list[Any], part: list[Any]) -> list[Any]:
+    return [cur[0] + part[0]]
+
+
+def build_cg(
+    n: int = 128, k: int = 8, iters: int = 3, seed: int | None = None
+) -> tuple[ir.IRProgram, dict[str, list[Any]]]:
+    """Construct the CG IR program plus preloaded matrix and vectors."""
+    nnz = n * k
+
+    def spmv_fn(i: int, *vals: Any) -> Any:
+        # vals alternate (aval, p) per nonzero.
+        acc = 0.0
+        for j in range(0, 2 * k, 2):
+            acc += vals[j] * vals[j + 1]
+        return acc
+
+    spmv_rhs = []
+    for kk in range(k):
+        spmv_rhs.append(ir.Ref("aval", ir.Affine(k, kk)))
+        spmv_rhs.append(ir.Ref("p", ir.Indirect("colidx", offset=kk, coeff=k)))
+
+    spmv = ir.ParallelFor(
+        name="spmv",
+        length=n,
+        body=(
+            ir.Assign(lhs=ir.Ref("q", ir.Affine()), rhs=tuple(spmv_rhs), fn=spmv_fn),
+        ),
+    )
+
+    dot_pq = ir.ReduceStmt(
+        name="dot_pq",
+        inputs=(ir.RangeRef("p", 0, n), ir.RangeRef("q", 0, n)),
+        result="pq",
+        width=1,
+        partial_fn=_dot_partial("p", "q"),
+        combine_fn=_scalar_add,
+        identity=(0.0,),
+    )
+
+    dot_rho = ir.ReduceStmt(
+        name="dot_rho",
+        inputs=(ir.RangeRef("r", 0, n),),
+        result="rho",
+        width=1,
+        partial_fn=_dot_partial("r", "r"),
+        combine_fn=_scalar_add,
+        identity=(0.0,),
+    )
+
+    def alpha_fn(env: dict[str, list[Any]]) -> dict[str, list[Any]]:
+        rho = env["rho"][0]
+        pq = env["pq"][0]
+        alpha = rho / pq if pq != 0.0 else 0.0
+        # coef = [alpha, beta, rho_old]; beta filled by the later stage.
+        return {"coef": [alpha, 0.0, rho]}
+
+    scalars1 = ir.SerialStmt(
+        name="alpha",
+        reads=(ir.RangeRef("rho", 0, 1), ir.RangeRef("pq", 0, 1)),
+        writes=(ir.RangeRef("coef", 0, 3),),
+        fn=alpha_fn,
+    )
+
+    update_xr = ir.ParallelFor(
+        name="update_xr",
+        length=n,
+        body=(
+            ir.Assign(
+                lhs=ir.Ref("x", ir.Affine()),
+                rhs=(
+                    ir.Ref("x", ir.Affine()),
+                    ir.Ref("coef", ir.Fixed(0)),
+                    ir.Ref("p", ir.Affine()),
+                ),
+                fn=lambda i, x, a, p: x + a * p,
+            ),
+            ir.Assign(
+                lhs=ir.Ref("r", ir.Affine()),
+                rhs=(
+                    ir.Ref("r", ir.Affine()),
+                    ir.Ref("coef", ir.Fixed(0)),
+                    ir.Ref("q", ir.Affine()),
+                ),
+                fn=lambda i, r, a, q: r - a * q,
+            ),
+        ),
+    )
+
+    dot_rho_new = ir.ReduceStmt(
+        name="dot_rho_new",
+        inputs=(ir.RangeRef("r", 0, n),),
+        result="rho_new",
+        width=1,
+        partial_fn=_dot_partial("r", "r"),
+        combine_fn=_scalar_add,
+        identity=(0.0,),
+    )
+
+    def beta_fn(env: dict[str, list[Any]]) -> dict[str, list[Any]]:
+        rho_old = env["coef"][2]
+        rho_new = env["rho_new"][0]
+        beta = rho_new / rho_old if rho_old != 0.0 else 0.0
+        return {"coef": [env["coef"][0], beta, rho_new]}
+
+    scalars2 = ir.SerialStmt(
+        name="beta",
+        reads=(ir.RangeRef("rho_new", 0, 1), ir.RangeRef("coef", 0, 3)),
+        writes=(ir.RangeRef("coef", 0, 3),),
+        fn=beta_fn,
+    )
+
+    update_p = ir.ParallelFor(
+        name="update_p",
+        length=n,
+        body=(
+            ir.Assign(
+                lhs=ir.Ref("p", ir.Affine()),
+                rhs=(
+                    ir.Ref("r", ir.Affine()),
+                    ir.Ref("coef", ir.Fixed(1)),
+                    ir.Ref("p", ir.Affine()),
+                ),
+                fn=lambda i, r, b, p: r + b * p,
+            ),
+        ),
+    )
+
+    program = ir.IRProgram(
+        name="cg",
+        arrays={
+            "aval": nnz,
+            "colidx": nnz,
+            "p": n,
+            "q": n,
+            "r": n,
+            "x": n,
+            "coef": 3,
+            "pq": 2,
+            "rho": 2,
+            "rho_new": 2,
+        },
+        stmts=(
+            ir.Loop(
+                iters,
+                (
+                    spmv,
+                    dot_pq,
+                    dot_rho,
+                    scalars1,
+                    update_xr,
+                    dot_rho_new,
+                    scalars2,
+                    update_p,
+                ),
+            ),
+        ),
+    )
+
+    rng = make_rng("cg", seed if seed is not None else 0)
+    colidx = rng.integers(0, n, size=nnz).tolist()
+    aval = (rng.random(nnz) * 0.1).tolist()
+    b = rng.random(n).tolist()
+    # Initial state: x = 0, r = b, p = r.
+    return program, {
+        "aval": aval,
+        "colidx": colidx,
+        "r": list(b),
+        "p": list(b),
+    }
+
+
+@register_model_two
+class CG(ModelTwoWorkload):
+    """NAS CG: irregular inspector-executor workload."""
+
+    name = "cg"
+    verify_arrays = ("x", "r", "p", "q")
+    rel_tol = 1e-5
+
+    def build(self):
+        n = max(32, round(128 * self.scale))
+        return build_cg(n=n)

@@ -1,0 +1,100 @@
+"""NAS IS (Integer Sort) kernel: counting sort by key histogramming.
+
+Per ranking iteration: (1) an unordered *reduction* builds the global key
+histogram — the dominant communication, unlocalizable by level-adaptive
+instructions; (2) a serial section computes the exclusive prefix sum;
+(3) a parallel ranking loop reads ``cum[key[i]]`` — an *indirect* read whose
+producer is the serial section, resolved by the inspector (writer is always
+thread 0).
+
+The module name carries a trailing underscore because ``is`` is a Python
+keyword.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.rng import make_rng
+from repro.compiler import ir
+from repro.workloads.base import ModelTwoWorkload, register_model_two
+
+
+def _hist_partial(buckets: int):
+    def fn(tid: int, n: int, env: dict[str, list[Any]]) -> list[Any]:
+        counts = [0] * buckets
+        for k in env["keys"]:
+            counts[int(k)] += 1
+        return counts
+
+    return fn
+
+
+def _vec_add(cur: list[Any], part: list[Any]) -> list[Any]:
+    return [c + p for c, p in zip(cur, part)]
+
+
+def _prefix(env: dict[str, list[Any]]) -> dict[str, list[Any]]:
+    hist = env["hist"]
+    cum = []
+    total = 0
+    for h in hist:
+        cum.append(total)
+        total += int(h)
+    return {"cum": cum}
+
+
+def build_is(
+    nkeys: int = 8192, buckets: int = 16, iters: int = 2, seed: int | None = None
+) -> tuple[ir.IRProgram, dict[str, list[Any]]]:
+    hist = ir.ReduceStmt(
+        name="is_hist",
+        inputs=(ir.RangeRef("keys", 0, nkeys),),
+        result="hist",
+        width=buckets,
+        partial_fn=_hist_partial(buckets),
+        combine_fn=_vec_add,
+        identity=tuple([0] * buckets),
+    )
+    prefix = ir.SerialStmt(
+        name="is_prefix",
+        reads=(ir.RangeRef("hist", 0, buckets),),
+        writes=(ir.RangeRef("cum", 0, buckets),),
+        fn=_prefix,
+    )
+    rank = ir.ParallelFor(
+        name="is_rank",
+        length=nkeys,
+        body=(
+            ir.Assign(
+                lhs=ir.Ref("rank", ir.Affine()),
+                rhs=(ir.Ref("cum", ir.Indirect("keys")),),
+                fn=lambda i, c: c,
+            ),
+        ),
+    )
+    program = ir.IRProgram(
+        name="is",
+        arrays={
+            "keys": nkeys,
+            "hist": buckets + 1,
+            "cum": buckets,
+            "rank": nkeys,
+        },
+        stmts=(ir.Loop(iters, (hist, prefix, rank)),),
+    )
+    rng = make_rng("is", seed if seed is not None else 0)
+    keys = rng.integers(0, buckets, size=nkeys).tolist()
+    return program, {"keys": keys}
+
+
+@register_model_two
+class IS(ModelTwoWorkload):
+    """NAS IS: reduction-dominated counting sort."""
+
+    name = "is"
+    verify_arrays = ("hist", "cum", "rank")
+
+    def build(self):
+        nkeys = max(256, round(8192 * self.scale))
+        return build_is(nkeys=nkeys)

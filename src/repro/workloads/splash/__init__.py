@@ -1,0 +1,24 @@
+"""SPLASH-2-style Model-1 workloads (Table I applications)."""
+
+from repro.workloads.splash.barnes import Barnes
+from repro.workloads.splash.cholesky import Cholesky
+from repro.workloads.splash.fft import FFT
+from repro.workloads.splash.lu import LUContiguous, LUNonContiguous
+from repro.workloads.splash.ocean import OceanContiguous, OceanNonContiguous
+from repro.workloads.splash.raytrace import Raytrace
+from repro.workloads.splash.volrend import Volrend
+from repro.workloads.splash.water import WaterNSquared, WaterSpatial
+
+__all__ = [
+    "Barnes",
+    "Cholesky",
+    "FFT",
+    "LUContiguous",
+    "LUNonContiguous",
+    "OceanContiguous",
+    "OceanNonContiguous",
+    "Raytrace",
+    "Volrend",
+    "WaterNSquared",
+    "WaterSpatial",
+]

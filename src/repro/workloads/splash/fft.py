@@ -1,0 +1,110 @@
+"""SPLASH-2 FFT (Table I: barrier).
+
+A scaled 1-D radix-2 Cooley-Tukey FFT over a shared complex array: a
+bit-reversal permutation epoch, then ``log2(N)`` butterfly stages, each
+separated by a global barrier.  Butterflies are block-distributed; early
+stages pair elements across thread chunks (the all-to-all communication of
+the SPLASH transpose steps), later stages become thread-local.
+
+All inter-thread communication is barrier-ordered — the canonical Figure 4a
+pattern.  Annotations are the barrier defaults (WB ALL / INV ALL).
+Verification compares against ``numpy.fft.fft``.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.core.machine import Machine
+from repro.isa import ops as isa
+from repro.workloads.base import ModelOneWorkload, Pattern, register_model_one
+
+
+def bit_reverse(i: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (i & 1)
+        i >>= 1
+    return out
+
+
+@register_model_one
+class FFT(ModelOneWorkload):
+    """Radix-2 FFT with barrier-separated stages."""
+
+    name = "fft"
+    main_patterns = (Pattern.BARRIER,)
+    other_patterns = ()
+
+    def __init__(self, scale: float = 1.0, n: int | None = None) -> None:
+        super().__init__(scale)
+        # Default 4K points: the src+work arrays together exceed the 32 KB
+        # L1, so HCC also misses — matching the paper's 64K-point runs where
+        # INV ALL costs little extra (the data does not fit in L1 anyway).
+        self.n = n if n is not None else max(64, 1 << round(12 * scale))
+        if self.n & (self.n - 1):
+            raise ConfigError("FFT size must be a power of two")
+        self.bits = self.n.bit_length() - 1
+        rng = make_rng("fft")
+        self.input = (rng.random(self.n) + 1j * rng.random(self.n)).tolist()
+
+    def prepare(self, machine: Machine) -> None:
+        if self.n % (2 * machine.num_threads):
+            raise ConfigError(
+                f"FFT size {self.n} must divide evenly over "
+                f"{machine.num_threads} threads"
+            )
+        self.src = machine.array("fft_src", self.n)
+        self.work = machine.array("fft_work", self.n)
+        mem = machine.hier.memory
+        for i, v in enumerate(self.input):
+            mem.write_word(self.src.addr(i) // 4, v)
+        machine.spawn_all(self._program)
+
+    def _program(self, ctx):
+        n, bits = self.n, self.bits
+        t, nt = ctx.tid, ctx.nthreads
+        chunk = n // nt
+        lo, hi = t * chunk, (t + 1) * chunk
+        src, work = self.src, self.work
+
+        # Epoch 0: bit-reversal permutation into the work array.  Each
+        # thread writes its chunk of the destination, reading scattered
+        # source elements (no producer yet: input preloaded in memory).
+        for i in range(lo, hi):
+            v = yield isa.Read(src.addr(bit_reverse(i, bits)))
+            yield isa.Write(work.addr(i), v)
+        yield from ctx.barrier()
+
+        # Butterfly stages.  Stage s pairs elements 2**s apart; each thread
+        # owns the butterflies whose pair-group base falls in its chunk.
+        for s in range(bits):
+            half = 1 << s
+            span = half << 1
+            # Iterate over this thread's share of butterflies.
+            total_butterflies = n // 2
+            bchunk = total_butterflies // nt
+            for b in range(t * bchunk, (t + 1) * bchunk):
+                group = b // half
+                j = b % half
+                idx_a = group * span + j
+                idx_b = idx_a + half
+                tw = cmath.exp(-2j * cmath.pi * j / span)
+                va = yield isa.Read(work.addr(idx_a))
+                vb = yield isa.Read(work.addr(idx_b))
+                vb = vb * tw
+                yield isa.Write(work.addr(idx_a), va + vb)
+                yield isa.Write(work.addr(idx_b), va - vb)
+                yield isa.Compute(8)  # twiddle multiply FLOPs
+            yield from ctx.barrier()
+
+    def verify(self, machine: Machine) -> None:
+        got = np.array(machine.read_array(self.work), dtype=complex)
+        want = np.fft.fft(np.array(self.input, dtype=complex))
+        assert np.allclose(got, want, rtol=1e-9, atol=1e-9), (
+            f"FFT mismatch: max err {np.max(np.abs(got - want))}"
+        )

@@ -1,0 +1,102 @@
+"""Tests for the MEB and IEB entry buffers (Section IV-B)."""
+
+from repro.coherence.ieb import IEB
+from repro.coherence.meb import MEB
+
+
+class TestMEB:
+    def test_records_only_while_armed(self):
+        meb = MEB(4)
+        meb.record_write(1)
+        assert len(meb) == 0
+        meb.begin_epoch()
+        meb.record_write(1)
+        assert meb.line_ids() == {1}
+        meb.end_epoch()
+        meb.record_write(2)
+        assert meb.line_ids() == {1}  # disarmed: unchanged
+
+    def test_duplicate_lines_stored_once(self):
+        meb = MEB(4)
+        meb.begin_epoch()
+        for _ in range(3):
+            meb.record_write(9)
+        assert len(meb) == 1
+        assert meb.insertions == 1
+
+    def test_overflow_disables_buffer(self):
+        meb = MEB(2)
+        meb.begin_epoch()
+        for lid in range(3):
+            meb.record_write(lid)
+        assert meb.overflowed
+        assert not meb.usable  # WB ALL must fall back to a full walk
+        assert meb.overflow_events == 1
+
+    def test_epoch_restart_clears_overflow(self):
+        meb = MEB(1)
+        meb.begin_epoch()
+        meb.record_write(0)
+        meb.record_write(1)
+        assert meb.overflowed
+        meb.begin_epoch()
+        assert not meb.overflowed and len(meb) == 0
+        assert meb.usable
+
+    def test_usable_requires_recording(self):
+        meb = MEB(4)
+        assert not meb.usable
+        meb.begin_epoch()
+        assert meb.usable
+
+    def test_zero_capacity_always_overflows(self):
+        meb = MEB(0)
+        meb.begin_epoch()
+        meb.record_write(0)
+        assert meb.overflowed
+
+
+class TestIEB:
+    def test_starts_epoch_empty(self):
+        ieb = IEB(4)
+        ieb.begin_epoch()
+        assert len(ieb) == 0 and ieb.armed
+
+    def test_insert_and_contains(self):
+        ieb = IEB(4)
+        ieb.begin_epoch()
+        ieb.insert(10)
+        assert ieb.contains(10)
+        assert not ieb.contains(11)
+
+    def test_fifo_eviction_on_overflow(self):
+        ieb = IEB(2)
+        ieb.begin_epoch()
+        ieb.insert(1)
+        ieb.insert(2)
+        ieb.insert(3)  # evicts 1
+        assert not ieb.contains(1)
+        assert ieb.contains(2) and ieb.contains(3)
+        assert ieb.evictions == 1
+
+    def test_duplicate_insert_does_not_evict(self):
+        ieb = IEB(2)
+        ieb.begin_epoch()
+        ieb.insert(1)
+        ieb.insert(2)
+        ieb.insert(1)  # already present
+        assert ieb.contains(1) and ieb.contains(2)
+        assert ieb.evictions == 0
+
+    def test_end_epoch_disarms_and_clears(self):
+        ieb = IEB(4)
+        ieb.begin_epoch()
+        ieb.insert(5)
+        ieb.end_epoch()
+        assert not ieb.armed and len(ieb) == 0
+
+    def test_zero_capacity_stores_nothing(self):
+        ieb = IEB(0)
+        ieb.begin_epoch()
+        ieb.insert(1)
+        assert not ieb.contains(1)

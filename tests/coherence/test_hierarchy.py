@@ -1,0 +1,112 @@
+"""Tests for the shared physical hierarchy helpers."""
+
+import pytest
+
+from repro.coherence.hierarchy import Hierarchy
+from repro.common.errors import AddressError
+from repro.common.params import inter_block_machine, intra_block_machine
+from repro.mem.line import CacheLine
+from repro.sim.stats import MachineStats, TrafficCat
+
+
+@pytest.fixture
+def intra():
+    machine = intra_block_machine(16)
+    return Hierarchy(machine, MachineStats.for_cores(16))
+
+
+@pytest.fixture
+def inter():
+    machine = inter_block_machine(4, 8)
+    return Hierarchy(machine, MachineStats.for_cores(32))
+
+
+class TestAddressArithmetic:
+    def test_line_and_word_of(self, intra):
+        assert intra.line_of(0) == 0
+        assert intra.line_of(63) == 0
+        assert intra.line_of(64) == 1
+        assert intra.word_of(0) == 0
+        assert intra.word_of(4) == 1
+        assert intra.word_of(68) == 1
+
+    def test_negative_address_rejected(self, intra):
+        with pytest.raises(AddressError):
+            intra.line_of(-4)
+
+    def test_lines_overlapping(self, intra):
+        assert list(intra.lines_overlapping(0, 64)) == [0]
+        assert list(intra.lines_overlapping(60, 8)) == [0, 1]
+        assert list(intra.lines_overlapping(64, 128)) == [1, 2]
+        assert list(intra.lines_overlapping(0, 0)) == []
+        assert list(intra.lines_overlapping(100, 1)) == [1]
+
+
+class TestBankMapping:
+    def test_l2_bank_interleaves_by_line(self, inter):
+        machine = inter.machine
+        for la in range(32):
+            bank = inter.l2_bank_of(0, la)
+            assert bank is inter.l2_banks[0][la % machine.cores_per_block]
+
+    def test_l2_banks_are_per_block(self, inter):
+        assert inter.l2_bank_of(0, 5) is not inter.l2_bank_of(1, 5)
+
+    def test_l3_bank_interleaves(self, inter):
+        for la in range(8):
+            assert inter.l3_bank_of(la) is inter.l3_banks[la % 4]
+
+    def test_intra_has_no_l3(self, intra):
+        assert not intra.has_l3
+        assert intra.l3_banks == []
+
+
+class TestLatencies:
+    def test_l1_latency_from_table3(self, intra):
+        assert intra.l1_latency() == 2
+
+    def test_l2_local_vs_remote_bank(self, intra):
+        # Line mapping to the core's own bank: just the bank round trip.
+        core = 0
+        local_line = 0  # bank 0 co-located with core 0
+        assert intra.l2_latency(core, local_line) == 11
+        # A far bank adds mesh hops.
+        assert intra.l2_latency(core, 15) > 11
+
+    def test_l3_latency_includes_mesh(self, inter):
+        lat = inter.l3_latency(0, 0)
+        assert lat >= 20
+
+    def test_mem_latency_at_least_150(self, intra):
+        assert intra.mem_latency(5) >= 150
+
+    def test_tag_walk_scales_with_sets(self, intra):
+        l1_walk = intra.tag_walk_latency(intra.l1s[0])
+        l2_walk = intra.tag_walk_latency(intra.l2_banks[0][0])
+        assert l1_walk == 32  # 128 sets / 4 per cycle
+        assert l2_walk > l1_walk
+
+
+class TestTrafficHelpers:
+    def test_line_transfer_flits(self, intra):
+        intra.count_line_transfer(TrafficCat.LINEFILL)
+        assert intra.stats.traffic[TrafficCat.LINEFILL] == 5  # header + 4
+
+    def test_partial_transfer_scales_with_words(self, intra):
+        intra.count_partial_transfer(TrafficCat.WRITEBACK, 1)
+        one_word = intra.stats.traffic[TrafficCat.WRITEBACK]
+        intra.count_partial_transfer(TrafficCat.WRITEBACK, 16)
+        assert intra.stats.traffic[TrafficCat.WRITEBACK] - one_word > one_word
+
+    def test_mem_write_back_respects_mask(self, intra):
+        line = CacheLine(3, ["a"] * 16)
+        line.mark_dirty(2)
+        intra.mem_write_back(line)
+        base = 3 * 16
+        assert intra.memory.read_word(base + 2) == "a"
+        assert intra.memory.read_word(base + 1) == 0
+
+    def test_mem_write_full_line(self, intra):
+        line = CacheLine(4, list(range(16)))
+        intra.mem_write_full_line(line)
+        assert intra.mem_read_line(4) == list(range(16))

@@ -1,0 +1,344 @@
+"""Tests for the hardware-incoherent protocol semantics (Sections III-B, IV-B, V-B).
+
+These drive the protocol object directly (no event engine) and check the
+paper-defined state semantics: staleness without WB/INV, dirty-word-only
+writeback, merge without clobber, INV-writes-back-dirty-first, MEB/IEB
+behavior, and level-adaptive resolution through the ThreadMap.
+"""
+
+import pytest
+
+from repro.coherence.hierarchy import Hierarchy
+from repro.coherence.incoherent import IncoherentProtocol
+from repro.coherence.threadmap import ThreadMapTable
+from repro.common.errors import ConfigError
+from repro.common.params import inter_block_machine, intra_block_machine
+from repro.noc.placement import identity_placement
+from repro.sim.stats import MachineStats, TrafficCat
+
+
+def make_intra(**kw):
+    machine = intra_block_machine(4)
+    stats = MachineStats.for_cores(machine.num_cores)
+    hier = Hierarchy(machine, stats)
+    return IncoherentProtocol(hier, **kw), hier, stats
+
+
+def make_inter(**kw):
+    machine = inter_block_machine(2, 2)
+    stats = MachineStats.for_cores(machine.num_cores)
+    hier = Hierarchy(machine, stats)
+    tmap = ThreadMapTable(identity_placement(machine, machine.num_cores))
+    return IncoherentProtocol(hier, threadmap=tmap, **kw), hier, stats
+
+
+ADDR = 0x1000  # an arbitrary line-aligned address
+
+
+class TestBasicSemantics:
+    def test_read_after_write_same_core(self):
+        proto, _, _ = make_intra()
+        proto.write(0, ADDR, 42)
+        _, value = proto.read(0, ADDR)
+        assert value == 42
+
+    def test_staleness_without_wb(self):
+        """A peer never sees an un-written-back update (no snooping)."""
+        proto, _, _ = make_intra()
+        proto.read(1, ADDR)  # core 1 caches the (zero) line
+        proto.write(0, ADDR, 99)
+        _, value = proto.read(1, ADDR)
+        assert value == 0  # stale, by design
+
+    def test_staleness_without_inv(self):
+        """WB alone is insufficient: the consumer must self-invalidate."""
+        proto, _, _ = make_intra()
+        proto.read(1, ADDR)
+        proto.write(0, ADDR, 99)
+        proto.wb_range(0, ADDR, 4)
+        _, value = proto.read(1, ADDR)
+        assert value == 0  # consumer kept its stale copy
+
+    def test_wb_plus_inv_communicates(self):
+        proto, _, _ = make_intra()
+        proto.read(1, ADDR)
+        proto.write(0, ADDR, 99)
+        proto.wb_range(0, ADDR, 4)
+        proto.inv_range(1, ADDR, 4)
+        _, value = proto.read(1, ADDR)
+        assert value == 99
+
+    def test_cold_read_sees_memory(self):
+        proto, hier, _ = make_intra()
+        hier.memory.write_word(ADDR // 4, 7.5)
+        _, value = proto.read(2, ADDR)
+        assert value == 7.5
+
+
+class TestDirtyWordWriteback:
+    def test_wb_leaves_line_clean_valid(self):
+        proto, hier, _ = make_intra()
+        proto.write(0, ADDR, 5)
+        proto.wb_range(0, ADDR, 4)
+        line = hier.l1s[0].lookup(hier.line_of(ADDR))
+        assert line is not None and not line.dirty
+        _, value = proto.read(0, ADDR)  # still a hit with the right value
+        assert value == 5
+
+    def test_wb_writes_only_dirty_words(self):
+        """Two cores dirty different words of one line; neither clobbers."""
+        proto, _, _ = make_intra()
+        word0, word1 = ADDR, ADDR + 4
+        proto.read(0, word0)
+        proto.read(1, word1)  # both cache the full line
+        proto.write(0, word0, "a")
+        proto.write(1, word1, "b")
+        proto.wb_range(0, word0, 4)
+        proto.wb_range(1, word1, 4)
+        proto.inv_range(2, word0, 8)
+        _, v0 = proto.read(2, word0)
+        _, v1 = proto.read(2, word1)
+        assert (v0, v1) == ("a", "b")
+
+    def test_wb_noop_when_clean(self):
+        proto, _, stats = make_intra()
+        proto.read(0, ADDR)
+        before = stats.traffic[TrafficCat.WRITEBACK]
+        proto.wb_range(0, ADDR, 4)
+        assert stats.traffic[TrafficCat.WRITEBACK] == before
+
+    def test_wb_expands_to_line_boundaries(self):
+        """WB of one word writes back all dirty words of the line."""
+        proto, _, _ = make_intra()
+        proto.write(0, ADDR, 1)
+        proto.write(0, ADDR + 8, 2)  # same line, different word
+        proto.wb_range(0, ADDR, 4)
+        proto.inv_range(1, ADDR + 8, 4)
+        _, value = proto.read(1, ADDR + 8)
+        assert value == 2
+
+    def test_wb_range_covers_multiple_lines(self):
+        proto, _, _ = make_intra()
+        proto.write(0, ADDR, "x")
+        proto.write(0, ADDR + 64, "y")
+        proto.wb_range(0, ADDR, 128)
+        proto.inv_range(1, ADDR, 128)
+        _, v0 = proto.read(1, ADDR)
+        _, v1 = proto.read(1, ADDR + 64)
+        assert (v0, v1) == ("x", "y")
+
+
+class TestInvalidation:
+    def test_inv_drops_whole_line(self):
+        proto, hier, _ = make_intra()
+        proto.read(0, ADDR)
+        proto.inv_range(0, ADDR, 4)
+        assert hier.l1s[0].lookup(hier.line_of(ADDR)) is None
+
+    def test_inv_writes_back_dirty_first(self):
+        """INV must not lose co-located updates (Section III-B)."""
+        proto, _, _ = make_intra()
+        proto.write(0, ADDR, 123)
+        proto.inv_range(0, ADDR, 4)
+        _, value = proto.read(0, ADDR)  # refetch from L2
+        assert value == 123
+
+    def test_inv_all_empties_cache(self):
+        proto, hier, _ = make_intra()
+        for k in range(8):
+            proto.read(0, ADDR + 64 * k)
+        proto.inv_all(0)
+        assert hier.l1s[0].occupancy == 0
+
+    def test_wb_all_writes_all_dirty_lines(self):
+        proto, hier, _ = make_intra()
+        for k in range(4):
+            proto.write(0, ADDR + 64 * k, k)
+        proto.wb_all(0)
+        assert not any(l.dirty for l in hier.l1s[0].lines())
+        for k in range(4):
+            proto.inv_range(1, ADDR + 64 * k, 4)
+            _, v = proto.read(1, ADDR + 64 * k)
+            assert v == k
+
+
+class TestMEBIntegration:
+    def test_wb_all_via_meb_writes_epoch_lines(self):
+        proto, hier, _ = make_intra(use_meb=True)
+        proto.write(0, ADDR, "pre")  # dirtied before the epoch
+        proto.epoch_begin(0, record_meb=True, ieb_mode=False)
+        proto.write(0, ADDR + 64, "cs")
+        lat_meb = proto.wb_all(0, via_meb=True)
+        # Only the epoch line was written back; the pre-epoch line stays dirty.
+        assert hier.l1s[0].lookup(hier.line_of(ADDR)).dirty
+        assert not hier.l1s[0].lookup(hier.line_of(ADDR + 64)).dirty
+        # And the MEB path skips the tag walk, so it must be cheaper than
+        # a full WB ALL on a dirty cache.
+        proto2, _, _ = make_intra(use_meb=True)
+        for k in range(16):
+            proto2.write(0, ADDR + 64 * k, k)
+        lat_full = proto2.wb_all(0, via_meb=False)
+        assert lat_meb < lat_full
+
+    def test_meb_overflow_falls_back_to_full_wb(self):
+        proto, hier, _ = make_intra(use_meb=True)
+        cap = proto.machine.buffers.meb_entries
+        proto.epoch_begin(0, record_meb=True, ieb_mode=False)
+        for k in range(cap + 4):
+            proto.write(0, ADDR + 64 * k, k)
+        proto.wb_all(0, via_meb=True)
+        # Overflow: everything must still be written back (correctness).
+        assert not any(l.dirty for l in hier.l1s[0].lines())
+
+    def test_meb_disabled_config_ignores_epochs(self):
+        proto, hier, _ = make_intra(use_meb=False)
+        proto.epoch_begin(0, record_meb=True, ieb_mode=False)
+        proto.write(0, ADDR, 1)
+        proto.wb_all(0, via_meb=True)  # via_meb ignored: full WB happens
+        assert not hier.l1s[0].lookup(hier.line_of(ADDR)).dirty
+
+
+class TestIEBIntegration:
+    def test_armed_read_refreshes_stale_line(self):
+        proto, _, _ = make_intra(use_ieb=True)
+        proto.read(1, ADDR)  # stale copy
+        proto.write(0, ADDR, 77)
+        proto.wb_range(0, ADDR, 4)
+        proto.epoch_begin(1, record_meb=False, ieb_mode=True)
+        _, value = proto.read(1, ADDR)  # no INV ALL needed
+        assert value == 77
+
+    def test_second_read_is_cheap(self):
+        proto, _, _ = make_intra(use_ieb=True)
+        proto.write(0, ADDR, 1)
+        proto.wb_range(0, ADDR, 4)
+        proto.read(1, ADDR)
+        proto.epoch_begin(1, record_meb=False, ieb_mode=True)
+        lat_first, _ = proto.read(1, ADDR)  # refresh (miss)
+        lat_second, _ = proto.read(1, ADDR)  # IEB hit: normal L1 hit
+        assert lat_second < lat_first
+
+    def test_own_dirty_word_not_refreshed(self):
+        proto, _, stats = make_intra(use_ieb=True)
+        proto.epoch_begin(0, record_meb=False, ieb_mode=True)
+        proto.write(0, ADDR, 5)
+        misses_before = stats.per_core[0].l1_misses
+        _, value = proto.read(0, ADDR)
+        assert value == 5
+        assert stats.per_core[0].l1_misses == misses_before
+
+    def test_ieb_overflow_causes_redundant_refresh_but_stays_correct(self):
+        proto, _, _ = make_intra(use_ieb=True)
+        cap = proto.machine.buffers.ieb_entries
+        proto.epoch_begin(1, record_meb=False, ieb_mode=True)
+        addrs = [ADDR + 64 * k for k in range(cap + 2)]
+        for a in addrs:
+            proto.read(1, a)
+        # Re-reading the first (evicted from IEB) address invalidates again.
+        inv_before = proto.hier.stats.per_core[1].lines_invalidated
+        proto.read(1, addrs[0])
+        assert proto.hier.stats.per_core[1].lines_invalidated > inv_before
+
+    def test_epoch_end_disarms(self):
+        proto, _, _ = make_intra(use_ieb=True)
+        proto.epoch_begin(0, record_meb=False, ieb_mode=True)
+        proto.epoch_end(0)
+        assert not proto.iebs[0].armed
+
+
+class TestLevelAdaptive:
+    def test_wb_cons_local_stays_in_block(self):
+        proto, _, stats = make_inter()
+        proto.write(0, ADDR, 1)  # cores 0,1 share block 0
+        proto.wb_cons(0, ADDR, 4, cons_tid=1)
+        assert stats.local_wb_lines == 1
+        assert stats.global_wb_lines == 0
+
+    def test_wb_cons_remote_reaches_l3(self):
+        proto, hier, stats = make_inter()
+        proto.write(0, ADDR, 9)
+        proto.wb_cons(0, ADDR, 4, cons_tid=2)  # thread 2 is in block 1
+        assert stats.global_wb_lines == 1
+        l3_line = hier.l3_bank_of(hier.line_of(ADDR)).lookup(hier.line_of(ADDR))
+        assert l3_line is not None and l3_line.data[0] == 9
+
+    def test_inv_prod_local_keeps_l2(self):
+        proto, hier, stats = make_inter()
+        proto.read(0, ADDR)  # fills L1 and block-0 L2
+        proto.inv_prod(0, ADDR, 4, prod_tid=1)
+        assert stats.local_inv_lines == 1
+        assert hier.l2_lookup(0, hier.line_of(ADDR)) is not None
+        assert hier.l1s[0].lookup(hier.line_of(ADDR)) is None
+
+    def test_inv_prod_remote_drops_l2_too(self):
+        proto, hier, stats = make_inter()
+        proto.read(0, ADDR)
+        proto.inv_prod(0, ADDR, 4, prod_tid=3)
+        assert stats.global_inv_lines == 1
+        assert hier.l2_lookup(0, hier.line_of(ADDR)) is None
+
+    def test_cross_block_communication_end_to_end(self):
+        """Producer in block 0, consumer in block 1, via WB_CONS/INV_PROD."""
+        proto, _, _ = make_inter()
+        proto.read(2, ADDR)  # consumer has a stale copy (L1 + its L2)
+        proto.write(0, ADDR, "fresh")
+        proto.wb_cons(0, ADDR, 4, cons_tid=2)
+        proto.inv_prod(2, ADDR, 4, prod_tid=0)
+        _, value = proto.read(2, ADDR)
+        assert value == "fresh"
+
+    def test_same_block_stale_after_remote_wb(self):
+        """WB_CONS leaves other same-block L1s stale (Section V-B caveat)."""
+        proto, _, _ = make_inter()
+        proto.read(1, ADDR)
+        proto.write(0, ADDR, 5)
+        proto.wb_cons(0, ADDR, 4, cons_tid=2)
+        _, value = proto.read(1, ADDR)
+        assert value == 0  # stale: no INV was performed by core 1
+
+    def test_wb_l3_always_global(self):
+        proto, _, stats = make_inter()
+        proto.write(0, ADDR, 1)
+        proto.wb_l3(0, ADDR, 4)
+        assert stats.global_wb_lines == 1
+
+    def test_inv_all_l2_clears_whole_block_l2(self):
+        proto, hier, _ = make_inter()
+        for k in range(4):
+            proto.read(0, ADDR + 64 * k)
+        proto.inv_all_l2(0)
+        assert all(bank.occupancy == 0 for bank in hier.l2_banks[0])
+        assert hier.l1s[0].occupancy == 0
+
+    def test_wb_all_l3_pushes_block_dirt(self):
+        proto, hier, _ = make_inter()
+        proto.write(0, ADDR, 3)
+        proto.wb_all_l3(0)
+        la = hier.line_of(ADDR)
+        assert hier.l3_bank_of(la).lookup(la).data[0] == 3
+
+    def test_level_adaptive_requires_threadmap(self):
+        proto, _, _ = make_intra()
+        with pytest.raises(ConfigError):
+            proto.wb_cons(0, ADDR, 4, cons_tid=1)
+
+    def test_wb_cons_all_respects_locality(self):
+        proto, hier, _ = make_inter()
+        proto.write(0, ADDR, 4)
+        proto.wb_cons_all(0, cons_tid=1)  # local: the L3 keeps stale data
+        la = hier.line_of(ADDR)
+        l3_line = hier.l3_bank_of(la).lookup(la)
+        assert l3_line is None or l3_line.data[0] != 4
+        proto.write(0, ADDR, 5)
+        proto.wb_cons_all(0, cons_tid=2)  # remote: reaches L3
+        assert hier.l3_bank_of(la).lookup(la).data[0] == 5
+
+
+class TestFinalize:
+    def test_finalize_flushes_all_levels_to_memory(self):
+        proto, hier, _ = make_inter()
+        proto.write(0, ADDR, 11)
+        proto.write(3, ADDR + 64, 22)
+        proto.finalize()
+        assert hier.memory.read_word(ADDR // 4) == 11
+        assert hier.memory.read_word((ADDR + 64) // 4) == 22

@@ -1,0 +1,54 @@
+"""Tests for the per-L2 ThreadMap table (Section V-B)."""
+
+import pytest
+
+from repro.coherence.threadmap import ThreadMap, ThreadMapTable
+from repro.common.errors import ConfigError
+from repro.common.params import inter_block_machine
+from repro.noc.placement import Placement, identity_placement, round_robin_placement
+
+
+def test_threadmap_membership():
+    tm = ThreadMap(0, {0, 1, 2})
+    assert tm.is_local(1)
+    assert not tm.is_local(5)
+    assert len(tm) == 3
+
+
+def test_table_from_identity_placement():
+    machine = inter_block_machine(4, 8)
+    table = ThreadMapTable(identity_placement(machine, 32))
+    assert table.for_block(0).thread_ids == frozenset(range(8))
+    assert table.for_block(3).thread_ids == frozenset(range(24, 32))
+
+
+def test_peer_is_local_resolution():
+    machine = inter_block_machine(4, 8)
+    table = ThreadMapTable(identity_placement(machine, 32))
+    # Core 0 is in block 0; thread 7 also runs there, thread 8 does not.
+    assert table.peer_is_local(my_core=0, peer_tid=7)
+    assert not table.peer_is_local(my_core=0, peer_tid=8)
+
+
+def test_round_robin_changes_locality():
+    machine = inter_block_machine(4, 8)
+    table = ThreadMapTable(round_robin_placement(machine, 8))
+    # Consecutive threads land in different blocks.
+    assert not table.peer_is_local(my_core=0, peer_tid=1)
+    # Thread 4 wraps back to block 0.
+    assert table.peer_is_local(my_core=0, peer_tid=4)
+
+
+def test_custom_permutation_resolution():
+    machine = inter_block_machine(2, 2)
+    table = ThreadMapTable(Placement(machine, (3, 0, 1, 2)))
+    # Thread 0 runs on core 3 (block 1); thread 3 on core 2 (block 1).
+    assert table.peer_is_local(my_core=3, peer_tid=3)
+    assert not table.peer_is_local(my_core=3, peer_tid=1)
+
+
+def test_block_bounds_checked():
+    machine = inter_block_machine(2, 2)
+    table = ThreadMapTable(identity_placement(machine, 4))
+    with pytest.raises(ConfigError):
+        table.for_block(2)

@@ -1,0 +1,123 @@
+"""Tests for architecture parameters (Table III)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import (
+    WORD_BYTES,
+    BufferParams,
+    CacheParams,
+    CoreParams,
+    MeshParams,
+    inter_block_machine,
+    intra_block_machine,
+    is_pow2,
+)
+
+
+class TestCacheParams:
+    def test_l1_geometry(self):
+        l1 = CacheParams(size_bytes=32 * 1024, assoc=4, line_bytes=64, round_trip=2)
+        assert l1.num_sets == 128
+        assert l1.num_lines == 512
+        assert l1.words_per_line == 16
+        assert l1.line_id_bits == 9  # the paper's 9-bit MEB entry
+
+    def test_l2_bank_geometry(self):
+        l2 = CacheParams(size_bytes=128 * 1024, assoc=8, line_bytes=64, round_trip=11)
+        assert l2.num_sets == 256
+        assert l2.num_lines == 2048
+
+    def test_rejects_non_pow2_line(self):
+        with pytest.raises(ConfigError):
+            CacheParams(size_bytes=1024, assoc=2, line_bytes=48, round_trip=1)
+
+    def test_rejects_fractional_sets(self):
+        with pytest.raises(ConfigError):
+            CacheParams(size_bytes=1000, assoc=2, line_bytes=64, round_trip=1)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ConfigError):
+            CacheParams(size_bytes=1024, assoc=0, line_bytes=64, round_trip=1)
+
+    def test_direct_mapped_allowed(self):
+        c = CacheParams(size_bytes=1024, assoc=1, line_bytes=64, round_trip=1)
+        assert c.num_sets == c.num_lines == 16
+
+
+class TestCoreParams:
+    def test_defaults_match_table3(self):
+        core = CoreParams()
+        assert core.issue_width == 4
+        assert core.rob_entries == 176
+
+    def test_overlap_bounds(self):
+        with pytest.raises(ConfigError):
+            CoreParams(overlap=1.5)
+        with pytest.raises(ConfigError):
+            CoreParams(overlap=-0.1)
+
+
+class TestMeshParams:
+    def test_defaults(self):
+        mesh = MeshParams()
+        assert mesh.cycles_per_hop == 4
+        assert mesh.link_bytes == 16  # 128-bit links
+
+    def test_flits_rounding(self):
+        mesh = MeshParams()
+        assert mesh.flits(1) == 1
+        assert mesh.flits(16) == 1
+        assert mesh.flits(17) == 2
+        assert mesh.flits(64) == 4
+
+
+class TestBufferParams:
+    def test_defaults_match_table3(self):
+        b = BufferParams()
+        assert b.meb_entries == 16
+        assert b.ieb_entries == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            BufferParams(meb_entries=-1)
+
+
+class TestMachineFactories:
+    def test_intra_block_machine(self):
+        m = intra_block_machine()
+        assert m.num_blocks == 1
+        assert m.cores_per_block == 16
+        assert m.num_cores == 16
+        assert m.l3_bank is None
+        assert m.num_l3_banks == 0
+        assert m.mem_round_trip == 150
+        assert m.words_per_line == 16
+
+    def test_inter_block_machine(self):
+        m = inter_block_machine()
+        assert m.num_blocks == 4
+        assert m.cores_per_block == 8
+        assert m.num_cores == 32
+        assert m.l3_bank is not None
+        assert m.num_l3_banks == 4
+        assert m.l3_bank.size_bytes == 4 * 1024 * 1024  # 16MB total in 4 banks
+
+    def test_mesh_dim_covers_cores(self):
+        m = inter_block_machine()
+        assert m.mesh_dim**2 >= m.num_cores
+
+    def test_l2_one_bank_per_core(self):
+        m = intra_block_machine(8)
+        assert m.num_l2_banks == 8
+
+    def test_word_size(self):
+        assert WORD_BYTES == 4
+
+    def test_is_pow2(self):
+        assert is_pow2(1) and is_pow2(64)
+        assert not is_pow2(0) and not is_pow2(48) and not is_pow2(-4)
+
+    def test_custom_buffers(self):
+        m = intra_block_machine(4, buffers=BufferParams(meb_entries=8))
+        assert m.buffers.meb_entries == 8

@@ -1,0 +1,28 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+
+from repro.common.rng import DEFAULT_SEED, make_rng
+
+
+def test_same_stream_same_sequence():
+    a = make_rng("fft").random(8)
+    b = make_rng("fft").random(8)
+    assert np.array_equal(a, b)
+
+
+def test_distinct_streams_differ():
+    a = make_rng("fft").random(8)
+    b = make_rng("lu").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_seed_changes_sequence():
+    a = make_rng("fft", seed=1).random(8)
+    b = make_rng("fft", seed=2).random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_default_seed_is_stable_constant():
+    # Workload inputs (and hence measured figures) key off this value.
+    assert DEFAULT_SEED == 20160516

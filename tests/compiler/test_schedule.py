@@ -1,0 +1,52 @@
+"""Tests for static chunk scheduling."""
+
+import pytest
+
+from repro.common.errors import CompilerError
+from repro.compiler.schedule import (
+    all_chunks,
+    chunk_bounds,
+    overlap,
+    owner_of_iteration,
+)
+
+
+def test_even_division():
+    assert all_chunks(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+
+def test_remainder_goes_to_leading_threads():
+    assert all_chunks(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+
+def test_chunks_partition_the_range():
+    for length, n in [(7, 3), (16, 5), (100, 16), (3, 8)]:
+        covered = []
+        for lo, hi in all_chunks(length, n):
+            covered.extend(range(lo, hi))
+        assert covered == list(range(length))
+
+
+def test_owner_is_inverse_of_chunks():
+    for length, n in [(10, 4), (33, 16), (5, 5)]:
+        for tid, (lo, hi) in enumerate(all_chunks(length, n)):
+            for i in range(lo, hi):
+                assert owner_of_iteration(length, n, i) == tid
+
+
+def test_owner_out_of_range():
+    with pytest.raises(CompilerError):
+        owner_of_iteration(10, 4, 10)
+
+
+def test_bad_tid():
+    with pytest.raises(CompilerError):
+        chunk_bounds(10, 4, 4)
+    with pytest.raises(CompilerError):
+        chunk_bounds(10, 0, 0)
+
+
+def test_overlap():
+    assert overlap((0, 5), (3, 8)) == (3, 5)
+    assert overlap((0, 3), (3, 8)) is None
+    assert overlap((4, 6), (0, 10)) == (4, 6)

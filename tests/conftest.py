@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Machine,
+    inter_block_machine,
+    intra_block_machine,
+)
+from repro.core.config import (
+    INTER_CONFIGS,
+    INTRA_CONFIGS,
+    ExperimentConfig,
+)
+
+
+@pytest.fixture
+def small_intra():
+    """A 4-core single-block machine (fast tests)."""
+    return intra_block_machine(4)
+
+
+@pytest.fixture
+def small_inter():
+    """A 2-block × 2-core machine with L3 (fast tests)."""
+    return inter_block_machine(2, 2)
+
+
+@pytest.fixture
+def paper_intra():
+    """The paper's 16-core intra-block machine."""
+    return intra_block_machine(16)
+
+
+@pytest.fixture
+def paper_inter():
+    """The paper's 4-block × 8-core machine."""
+    return inter_block_machine(4, 8)
+
+
+def run_program(machine_params, config: ExperimentConfig, program, *,
+                num_threads: int, arrays: dict[str, int] | None = None):
+    """Build a machine, allocate arrays, run one SPMD program.
+
+    Returns (machine, stats).  ``program(ctx, arrs)`` receives the dict of
+    allocated SharedArrays.
+    """
+    m = Machine(machine_params, config, num_threads=num_threads)
+    arrs = {
+        name: m.array(name, size) for name, size in (arrays or {}).items()
+    }
+    m.spawn_all(lambda ctx: program(ctx, arrs))
+    stats = m.run()
+    return m, stats
+
+
+INTRA_BY_NAME = {cfg.name: cfg for cfg in INTRA_CONFIGS}
+INTER_BY_NAME = {cfg.name: cfg for cfg in INTER_CONFIGS}

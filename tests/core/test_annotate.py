@@ -1,0 +1,121 @@
+"""Tests for the Model-1 annotation algorithm (Section IV-A, Figure 4)."""
+
+from repro.core.annotate import Annotator
+from repro.core.config import (
+    INTRA_BASE,
+    INTRA_BI,
+    INTRA_BM,
+    INTRA_BMI,
+    INTRA_HCC,
+)
+from repro.isa import ops as isa
+
+
+def kinds(ops):
+    return [type(op) for op in ops]
+
+
+class TestHCCDisablesEverything:
+    def test_all_hooks_empty(self):
+        a = Annotator(INTRA_HCC)
+        assert a.before_barrier() == []
+        assert a.after_barrier() == []
+        assert a.before_acquire() == []
+        assert a.after_acquire() == []
+        assert a.before_release() == []
+        assert a.after_release() == []
+        assert a.before_flag_set() == []
+        assert a.after_flag_wait() == []
+        assert a.after_racy_store(0x40) == []
+        assert a.before_racy_load(0x40) == []
+
+
+class TestBarrierAnnotations:
+    def test_defaults_are_all_ops(self):
+        a = Annotator(INTRA_BASE)
+        assert kinds(a.before_barrier()) == [isa.WBAll]
+        assert kinds(a.after_barrier()) == [isa.INVAll]
+
+    def test_hints_narrow_to_ranges(self):
+        a = Annotator(INTRA_BASE)
+        before = a.before_barrier(wb=[(0x100, 64), (0x200, 128)])
+        assert kinds(before) == [isa.WB, isa.WB]
+        assert before[0].addr == 0x100 and before[1].length == 128
+        after = a.after_barrier(inv=[(0x100, 64)])
+        assert kinds(after) == [isa.INV]
+
+    def test_empty_hint_means_nothing(self):
+        """Thread-private reuse of shared space: no WB/INV at all."""
+        a = Annotator(INTRA_BASE)
+        assert a.before_barrier(wb=()) == []
+        assert a.after_barrier(inv=()) == []
+
+
+class TestCriticalSectionAnnotations:
+    def test_base_with_occ(self):
+        a = Annotator(INTRA_BASE)
+        # OCC write-back, then CS-entry INV, both before the acquire.
+        assert kinds(a.before_acquire(occ=True)) == [isa.WBAll, isa.INVAll]
+        assert a.after_acquire() == []
+        rel = a.before_release()
+        assert kinds(rel) == [isa.WBAll]
+        assert not rel[0].via_meb
+        assert kinds(a.after_release(occ=True)) == [isa.INVAll]
+
+    def test_base_without_occ(self):
+        a = Annotator(INTRA_BASE)
+        assert kinds(a.before_acquire(occ=False)) == [isa.INVAll]
+        assert a.after_release(occ=False) == []
+
+    def test_meb_arms_epoch_and_uses_meb_wb(self):
+        a = Annotator(INTRA_BM)
+        arm = a.after_acquire()
+        assert kinds(arm) == [isa.EpochBegin]
+        assert arm[0].record_meb and not arm[0].ieb_mode
+        rel = a.before_release()
+        assert kinds(rel) == [isa.WBAll, isa.EpochEnd]
+        assert rel[0].via_meb
+
+    def test_ieb_replaces_entry_inv(self):
+        a = Annotator(INTRA_BI)
+        # No INV ALL before the acquire — the IEB refreshes per read.
+        assert kinds(a.before_acquire(occ=False)) == []
+        arm = a.after_acquire()
+        assert arm[0].ieb_mode and not arm[0].record_meb
+        # But the release-side WB stays full (why B+I alone is ineffective).
+        rel = a.before_release()
+        assert not rel[0].via_meb
+
+    def test_bmi_combines_both(self):
+        a = Annotator(INTRA_BMI)
+        arm = a.after_acquire()
+        assert arm[0].record_meb and arm[0].ieb_mode
+        rel = a.before_release()
+        assert rel[0].via_meb
+
+    def test_programmer_cs_hints(self):
+        a = Annotator(INTRA_BASE)
+        ops = a.before_acquire(occ=False, cs_inv=[(0x40, 4)])
+        assert kinds(ops) == [isa.INV]
+        rel = a.before_release(cs_wb=[(0x40, 4)])
+        assert kinds(rel) == [isa.WB]
+
+
+class TestFlagAnnotations:
+    def test_set_posts_writes_first(self):
+        a = Annotator(INTRA_BASE)
+        assert kinds(a.before_flag_set()) == [isa.WBAll]
+        assert kinds(a.before_flag_set(wb=[(0x80, 64)])) == [isa.WB]
+
+    def test_wait_invalidates_after(self):
+        a = Annotator(INTRA_BASE)
+        assert kinds(a.after_flag_wait()) == [isa.INVAll]
+
+
+class TestDataRaceAnnotations:
+    def test_figure6b_pattern(self):
+        a = Annotator(INTRA_BASE)
+        wb = a.after_racy_store(0x40, 4)
+        assert kinds(wb) == [isa.WB] and wb[0].addr == 0x40
+        inv = a.before_racy_load(0x40, 4)
+        assert kinds(inv) == [isa.INV]

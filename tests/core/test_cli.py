@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fft" in out and "jacobi" in out
+    assert "B+M+I" in out and "Addr+L" in out
+
+
+def test_run_intra_default_config(capsys):
+    assert main(["run", "volrend", "--scale", "0.4"]) == 0
+    out = capsys.readouterr().out
+    assert "volrend under B+M+I: verified OK" in out
+    assert "exec time" in out and "lock_stall" in out
+
+
+def test_run_intra_explicit_config(capsys):
+    assert main(["run", "volrend", "--config", "HCC", "--scale", "0.4"]) == 0
+    assert "under HCC" in capsys.readouterr().out
+
+
+def test_run_inter_default_config(capsys):
+    assert main(["run", "ep", "--scale", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "ep under Addr+L: verified OK" in out
+    assert "WB lines" in out  # level-adaptive counters printed
+
+
+def test_run_unknown_workload(capsys):
+    assert main(["run", "nope"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    assert "cholesky" in capsys.readouterr().out
+
+
+def test_table3_both_machines(capsys):
+    assert main(["table3", "--machine", "intra"]) == 0
+    out1 = capsys.readouterr().out
+    assert "32KB" in out1 and "L3" not in out1
+    assert main(["table3"]) == 0
+    assert "Shared L3" in capsys.readouterr().out
+
+
+def test_storage(capsys):
+    assert main(["storage"]) == 0
+    assert "102" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_staleness_mode(capsys):
+    assert main(["run", "volrend", "--scale", "0.4", "--staleness"]) == 0
+    out = capsys.readouterr().out
+    assert "0 stale read(s)" in out

@@ -1,0 +1,136 @@
+"""Tests for the thread programming API (ThreadCtx helpers)."""
+
+import pytest
+
+from repro import Machine, intra_block_machine
+from repro.core.config import INTRA_BASE, INTRA_BMI, INTRA_HCC
+
+
+def run(config, program, *, threads=2, arrays=None):
+    m = Machine(intra_block_machine(4), config, num_threads=threads)
+    arrs = {n: m.array(n, s) for n, s in (arrays or {"a": 64}).items()}
+    m.spawn_all(lambda ctx: program(ctx, arrs))
+    stats = m.run()
+    return m, stats
+
+
+@pytest.mark.parametrize("config", [INTRA_HCC, INTRA_BASE, INTRA_BMI])
+def test_barrier_orders_producer_consumer(config):
+    def program(ctx, arrs):
+        a = arrs["a"]
+        yield from ctx.store(a.addr(ctx.tid), ctx.tid * 7)
+        yield from ctx.barrier()
+        peer = (ctx.tid + 1) % ctx.nthreads
+        v = yield from ctx.load(a.addr(peer))
+        yield from ctx.store(a.addr(ctx.tid + 8), v)
+        yield from ctx.barrier()
+
+    m, _ = run(config, program)
+    assert m.read_word(m.space.lookup("a").base + 8 * 4) == 7
+    assert m.read_word(m.space.lookup("a").base + 9 * 4) == 0
+
+
+@pytest.mark.parametrize("config", [INTRA_HCC, INTRA_BASE, INTRA_BMI])
+def test_critical_section_counter(config):
+    """N threads increment a shared counter 5 times each under a lock."""
+
+    def program(ctx, arrs):
+        a = arrs["a"]
+        for _ in range(5):
+            yield from ctx.lock_acquire(0, occ=False)
+            v = yield from ctx.load(a.addr(0))
+            yield from ctx.store(a.addr(0), v + 1)
+            yield from ctx.lock_release(0, occ=False)
+
+    m, _ = run(config, program, threads=4)
+    assert m.read_word(m.space.lookup("a").base) == 20
+
+
+@pytest.mark.parametrize("config", [INTRA_HCC, INTRA_BASE, INTRA_BMI])
+def test_flag_producer_consumer(config):
+    def program(ctx, arrs):
+        a = arrs["a"]
+        if ctx.tid == 0:
+            yield from ctx.store(a.addr(0), 42)
+            yield from ctx.flag_set(0)
+        else:
+            yield from ctx.flag_wait(0)
+            v = yield from ctx.load(a.addr(0))
+            yield from ctx.store(a.addr(1), v)
+
+    m, _ = run(config, program)
+    assert m.read_word(m.space.lookup("a").base + 4) == 42
+
+
+@pytest.mark.parametrize("config", [INTRA_HCC, INTRA_BASE, INTRA_BMI])
+def test_racy_flag_data_pattern(config):
+    """Figure 6b: data race made visible with explicit WB/INV."""
+
+    def program(ctx, arrs):
+        a = arrs["a"]
+        if ctx.tid == 0:
+            yield from ctx.store(a.addr(0), 7)
+            # Post data, then the racy flag (WB order matters).
+            yield from ctx.barrier(wb=[a.range(0, 1)], inv=())
+            yield from ctx.racy_store(a.addr(1), 1)
+        else:
+            yield from ctx.barrier(wb=(), inv=[a.range(0, 1)])
+            while True:
+                flag = yield from ctx.racy_load(a.addr(1))
+                if flag:
+                    break
+            v = yield from ctx.load(a.addr(0))
+            yield from ctx.store(a.addr(2), v)
+
+    m, _ = run(config, program)
+    assert m.read_word(m.space.lookup("a").base + 8) == 7
+
+
+def test_occ_task_queue_pattern():
+    """Figure 4d: data produced outside the CS flows to a later dequeuer."""
+
+    def program(ctx, arrs):
+        a = arrs["a"]
+        q = arrs["q"]
+        # Produce a value outside any critical section.
+        yield from ctx.store(a.addr(16 + ctx.tid), 100 + ctx.tid)
+        # Enqueue (critical section with OCC annotations).
+        yield from ctx.lock_acquire(0, occ=True)
+        slot = yield from ctx.load(q.addr(0))
+        yield from ctx.store(q.addr(1 + int(slot)), ctx.tid)
+        yield from ctx.store(q.addr(0), int(slot) + 1)
+        yield from ctx.lock_release(0, occ=True)
+        yield from ctx.barrier()
+        # Dequeue someone else's task and consume their produced value.
+        yield from ctx.lock_acquire(0, occ=True)
+        idx = yield from ctx.load(q.addr(0))
+        producer = yield from ctx.load(q.addr(int(idx)))
+        yield from ctx.store(q.addr(0), int(idx) - 1)
+        yield from ctx.lock_release(0, occ=True)
+        v = yield from ctx.load(a.addr(16 + int(producer)))
+        yield from ctx.store(a.addr(32 + ctx.tid), v)
+
+    for config in (INTRA_HCC, INTRA_BASE, INTRA_BMI):
+        m, _ = run(config, program, arrays={"a": 64, "q": 16})
+        base = m.space.lookup("a").base
+        got = sorted(m.read_word(base + (32 + t) * 4) for t in range(2))
+        assert got == [100, 101], config.name
+
+
+def test_load_many_store_many():
+    def program(ctx, arrs):
+        a = arrs["a"]
+        yield from ctx.store_many((a.addr(i), i * 2) for i in range(4))
+        vals = yield from ctx.load_many(a.addr(i) for i in range(4))
+        assert vals == [0, 2, 4, 6]
+
+    run(INTRA_HCC, program, threads=1)
+
+
+def test_compute_zero_is_noop():
+    def program(ctx, arrs):
+        yield from ctx.compute(0)
+        yield from ctx.compute(5)
+
+    _, stats = run(INTRA_HCC, program, threads=1)
+    assert stats.exec_time >= 5

@@ -1,0 +1,206 @@
+"""Tests for machine assembly, CPU stall attribution, and config plumbing."""
+
+import pytest
+
+from repro import Machine, intra_block_machine
+from repro.common.errors import ConfigError
+from repro.core.config import (
+    INTRA_BASE,
+    INTRA_BMI,
+    INTRA_HCC,
+    ExperimentConfig,
+    InterMode,
+    inter_config,
+    intra_config,
+)
+from repro.isa import ops as isa
+from repro.sim.stats import StallCat
+
+
+class TestConfigs:
+    def test_table2_intra_names(self):
+        for name in ("Base", "B+M", "B+I", "B+M+I", "HCC"):
+            assert intra_config(name).name == name
+
+    def test_table2_inter_names(self):
+        for name in ("Base", "Addr", "Addr+L", "HCC"):
+            assert inter_config(name).name == name
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ConfigError):
+            intra_config("nope")
+
+    def test_hcc_cannot_have_buffers(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig("bad", hardware_coherent=True, use_meb=True)
+
+    def test_inter_modes(self):
+        assert inter_config("Addr").inter_mode == InterMode.ADDR
+        assert inter_config("Addr+L").inter_mode == InterMode.ADDR_LEVEL
+        assert inter_config("HCC").inter_mode == InterMode.HCC
+
+
+class TestMachineLifecycle:
+    @staticmethod
+    def _empty(ctx):
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def test_spawn_limit(self):
+        m = Machine(intra_block_machine(4), INTRA_BASE, num_threads=2)
+        m.spawn(self._empty)
+        m.spawn(self._empty)
+        with pytest.raises(ConfigError):
+            m.spawn(self._empty)
+
+    def test_run_requires_threads(self):
+        m = Machine(intra_block_machine(4), INTRA_BASE, num_threads=2)
+        with pytest.raises(ConfigError):
+            m.run()
+
+    def test_machine_runs_once(self):
+        m = Machine(intra_block_machine(4), INTRA_BASE, num_threads=1)
+        m.spawn(self._empty)
+        m.run()
+        with pytest.raises(ConfigError):
+            m.run()
+
+    def test_placement_size_mismatch(self):
+        from repro.noc.placement import identity_placement
+
+        params = intra_block_machine(4)
+        with pytest.raises(ConfigError):
+            Machine(
+                params,
+                INTRA_BASE,
+                num_threads=3,
+                placement=identity_placement(params, 2),
+            )
+
+
+class TestStallAttribution:
+    def _run(self, config, program):
+        m = Machine(intra_block_machine(2), config, num_threads=2)
+        arr = m.array("a", 64)
+        m.spawn_all(lambda ctx: program(ctx, arr))
+        return m.run()
+
+    def test_compute_goes_to_rest(self):
+        def program(ctx, arr):
+            yield isa.Compute(100)
+
+        stats = self._run(INTRA_HCC, program)
+        assert stats.stall_total(StallCat.REST) >= 200  # both cores
+
+    def test_wb_ops_charged_to_wb_stall(self):
+        def program(ctx, arr):
+            yield isa.Write(arr.addr(0), 1)
+            yield isa.WBAll()
+
+        stats = self._run(INTRA_BASE, program)
+        assert stats.stall_total(StallCat.WB) > 0
+        assert stats.summary()["wb_ops"] == 2
+
+    def test_inv_ops_charged_to_inv_stall(self):
+        def program(ctx, arr):
+            yield isa.Read(arr.addr(0))
+            yield isa.INVAll()
+
+        stats = self._run(INTRA_BASE, program)
+        assert stats.stall_total(StallCat.INV) > 0
+
+    def test_lock_wait_charged_to_lock_stall(self):
+        def program(ctx, arr):
+            yield isa.LockAcquire(0)
+            yield isa.Compute(200)
+            yield isa.LockRelease(0)
+
+        stats = self._run(INTRA_HCC, program)
+        # The second core waits out the first's 200-cycle hold.
+        assert stats.stall_total(StallCat.LOCK) >= 200
+
+    def test_barrier_imbalance_charged_to_barrier_stall(self):
+        def program(ctx, arr):
+            if ctx.tid == 0:
+                yield isa.Compute(500)
+            yield isa.Barrier(0, 2)
+
+        stats = self._run(INTRA_HCC, program)
+        assert stats.stall_total(StallCat.BARRIER) >= 400
+
+    def test_exec_time_is_critical_path(self):
+        def program(ctx, arr):
+            yield isa.Compute(300 if ctx.tid == 0 else 50)
+
+        stats = self._run(INTRA_HCC, program)
+        assert stats.exec_time >= 300
+
+    def test_hcc_pays_nothing_for_wbinv(self):
+        def program(ctx, arr):
+            yield isa.Write(arr.addr(ctx.tid), 1)
+            yield isa.WBAll()
+            yield isa.INVAll()
+
+        stats = self._run(INTRA_HCC, program)
+        assert stats.stall_total(StallCat.WB) == 0
+        assert stats.stall_total(StallCat.INV) == 0
+
+
+class TestFunctionalMemory:
+    def test_read_word_after_run(self):
+        m = Machine(intra_block_machine(2), INTRA_BMI, num_threads=2)
+        arr = m.array("a", 32)
+
+        def program(ctx):
+            yield isa.Write(arr.addr(ctx.tid), ctx.tid + 10)
+
+        m.spawn_all(program)
+        m.run()
+        assert m.read_word(arr.addr(0)) == 10
+        assert m.read_word(arr.addr(1)) == 11
+
+    def test_read_array_row_major(self):
+        m = Machine(intra_block_machine(2), INTRA_HCC, num_threads=1)
+        arr = m.array("m", (2, 2))
+
+        def program(ctx):
+            for i in range(2):
+                for j in range(2):
+                    yield isa.Write(arr.addr(i, j), 10 * i + j)
+
+        m.spawn(program)
+        m.run()
+        assert m.read_array(arr) == [0, 1, 10, 11]
+
+
+class TestBufferStats:
+    def test_hcc_reports_zeros(self):
+        m = Machine(intra_block_machine(2), INTRA_HCC, num_threads=1)
+
+        def program(ctx):
+            yield isa.Compute(1)
+
+        m.spawn(program)
+        m.run()
+        assert all(v == 0 for v in m.buffer_stats().values())
+
+    def test_meb_overflow_counted(self):
+        from repro import BufferParams
+
+        params = intra_block_machine(
+            2, buffers=BufferParams(meb_entries=2, ieb_entries=4)
+        )
+        m = Machine(params, INTRA_BMI, num_threads=1)
+        arr = m.array("a", 256)
+
+        def program(ctx):
+            yield from ctx.lock_acquire(0, occ=False)
+            for k in range(8):  # 8 lines through a 2-entry MEB
+                yield isa.Write(arr.addr(16 * k), k)
+            yield from ctx.lock_release(0, occ=False)
+
+        m.spawn(program)
+        m.run()
+        stats = m.buffer_stats()
+        assert stats["meb_overflows"] >= 1
+        assert stats["meb_insertions"] >= 2

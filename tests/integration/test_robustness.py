@@ -1,0 +1,126 @@
+"""Robustness: deadlock detection, capacity pressure, placement permutations."""
+
+import pytest
+
+from repro import Machine, intra_block_machine
+from repro.common.errors import DeadlockError
+from repro.common.params import (
+    BufferParams,
+    CacheParams,
+    CoreParams,
+    MachineParams,
+    MeshParams,
+)
+from repro.core.config import INTRA_BASE, INTRA_BMI, INTRA_CONFIGS, INTRA_HCC
+from repro.isa import ops as isa
+
+
+class TestDeadlockDetection:
+    def test_missing_barrier_participant_is_detected(self):
+        m = Machine(intra_block_machine(2), INTRA_HCC, num_threads=2)
+
+        def program(ctx):
+            if ctx.tid == 0:
+                yield isa.Barrier(0, 2)  # thread 1 never arrives
+
+        m.spawn_all(program)
+        with pytest.raises(DeadlockError):
+            m.run()
+
+    def test_lock_never_released_blocks_waiter(self):
+        m = Machine(intra_block_machine(2), INTRA_HCC, num_threads=2)
+
+        def program(ctx):
+            yield isa.LockAcquire(0)
+            # Nobody releases: the second acquirer waits forever.
+
+        m.spawn_all(program)
+        with pytest.raises(DeadlockError):
+            m.run()
+
+    def test_flag_wait_without_set(self):
+        m = Machine(intra_block_machine(2), INTRA_HCC, num_threads=1)
+
+        def program(ctx):
+            yield isa.FlagWait(0, 1)
+
+        m.spawn(program)
+        with pytest.raises(DeadlockError):
+            m.run()
+
+
+def tiny_l1_machine(num_cores=4):
+    """A machine with a 4-line direct-mapped L1: constant capacity pressure."""
+    return MachineParams(
+        num_blocks=1,
+        cores_per_block=num_cores,
+        core=CoreParams(),
+        l1=CacheParams(size_bytes=256, assoc=1, line_bytes=64, round_trip=2),
+        l2_bank=CacheParams(size_bytes=8192, assoc=2, line_bytes=64, round_trip=11),
+        l3_bank=None,
+        num_l3_banks=0,
+        mesh=MeshParams(),
+        buffers=BufferParams(),
+    )
+
+
+class TestCapacityPressure:
+    """Evictions must never lose dirty data on the incoherent hierarchy."""
+
+    N = 128  # 8 lines per thread at 4 threads — far beyond the 4-line L1
+
+    def _program(self, ctx, arr):
+        n = self.N
+        chunk = n // ctx.nthreads
+        lo = ctx.tid * chunk
+        # Write a wide stripe (evicting constantly), then sync, then read
+        # a peer's stripe.
+        for rep in range(2):
+            for i in range(lo, lo + chunk):
+                yield isa.Write(arr.addr(i), rep * 1000 + i)
+            yield from ctx.barrier()
+            peer = ((ctx.tid + 1) % ctx.nthreads) * chunk
+            for k in range(chunk):
+                v = yield isa.Read(arr.addr(peer + k))
+                assert v == rep * 1000 + peer + k, (ctx.tid, rep, k, v)
+            yield from ctx.barrier()
+
+    @pytest.mark.parametrize("config", INTRA_CONFIGS, ids=lambda c: c.name)
+    def test_eviction_heavy_producer_consumer(self, config):
+        m = Machine(tiny_l1_machine(), config, num_threads=4)
+        arr = m.array("a", self.N)
+        m.spawn_all(lambda ctx: self._program(ctx, arr))
+        m.run()
+        for i in range(self.N):
+            assert m.read_word(arr.addr(i)) == 1000 + i
+
+    def test_meb_with_constant_eviction(self):
+        """Stale MEB entries (written line evicted) must stay harmless."""
+        m = Machine(tiny_l1_machine(1), INTRA_BMI, num_threads=1)
+        arr = m.array("a", 64)
+
+        def program(ctx):
+            yield from ctx.lock_acquire(0, occ=False)
+            for i in range(0, 64, 4):  # 16 lines through a 4-line L1
+                yield isa.Write(arr.addr(i), i)
+            yield from ctx.lock_release(0, occ=False)
+
+        m.spawn(program)
+        m.run()
+        for i in range(0, 64, 4):
+            assert m.read_word(arr.addr(i)) == i
+
+
+class TestRacyInterleavings:
+    def test_unsynchronized_same_word_writes_keep_some_value(self):
+        """Racy writes are a program bug, but never produce garbage."""
+        m = Machine(intra_block_machine(4), INTRA_BASE, num_threads=4)
+        arr = m.array("a", 4)
+
+        def program(ctx):
+            yield isa.Write(arr.addr(0), 100 + ctx.tid)
+            yield isa.WB(arr.addr(0), 4)
+
+        m.spawn_all(program)
+        m.run()
+        assert m.read_word(arr.addr(0)) in {100, 101, 102, 103}

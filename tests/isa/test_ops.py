@@ -1,0 +1,57 @@
+"""Tests for the operation vocabulary."""
+
+from repro.isa import ops as isa
+
+
+def test_op_families_are_disjoint():
+    wb = set(isa.WB_OPS)
+    inv = set(isa.INV_OPS)
+    sync = set(isa.SYNC_OPS)
+    assert not (wb & inv) and not (wb & sync) and not (inv & sync)
+
+
+def test_wb_flavors_cover_section3_and_5():
+    names = {cls.mnemonic for cls in isa.WB_OPS}
+    assert names == {"WB", "WB_ALL", "WB_CONS", "WB_CONS_ALL", "WB_L3", "WB_ALL_L3"}
+
+
+def test_inv_flavors():
+    names = {cls.mnemonic for cls in isa.INV_OPS}
+    assert names == {
+        "INV", "INV_ALL", "INV_PROD", "INV_PROD_ALL", "INV_L2", "INV_ALL_L2"
+    }
+
+
+def test_sync_ops_cover_three_primitives():
+    names = {cls.mnemonic for cls in isa.SYNC_OPS}
+    assert names == {
+        "barrier", "lock_acquire", "lock_release", "flag_set", "flag_wait"
+    }
+
+
+def test_read_write_fields():
+    r = isa.Read(0x40)
+    w = isa.Write(0x44, 3.5)
+    assert r.addr == 0x40
+    assert (w.addr, w.value) == (0x44, 3.5)
+
+
+def test_level_adaptive_carry_peer_ids():
+    wb = isa.WBCons(0x100, 64, cons_tid=7)
+    inv = isa.InvProd(0x100, 64, prod_tid=3)
+    assert wb.cons_tid == 7
+    assert inv.prod_tid == 3
+
+
+def test_epoch_markers_default_disarmed():
+    e = isa.EpochBegin()
+    assert not e.record_meb and not e.ieb_mode
+
+
+def test_wb_all_via_meb_flag():
+    assert isa.WBAll(via_meb=True).via_meb
+    assert not isa.WBAll().via_meb
+
+
+def test_repr_is_informative():
+    assert "addr" in repr(isa.Read(0x40))

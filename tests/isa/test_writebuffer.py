@@ -1,0 +1,120 @@
+"""Tests for the Section III-C reordering rules (Figure 3)."""
+
+import pytest
+
+from repro.common.errors import OrderingError
+from repro.isa.writebuffer import (
+    AccKind,
+    Access,
+    WriteBuffer,
+    check_execution_order,
+    may_reorder,
+)
+
+
+def acc(kind, addr=0x40, seq=0):
+    return Access(kind, addr, seq)
+
+
+class TestMayReorder:
+    def test_inv_then_load_forbidden(self):
+        # Figure 3a: INV(x) -> ld x must not swap.
+        assert not may_reorder(acc(AccKind.INV), acc(AccKind.LOAD))
+
+    def test_store_then_wb_forbidden(self):
+        # Figure 3b: st x -> WB(x) must not swap.
+        assert not may_reorder(acc(AccKind.STORE), acc(AccKind.WB))
+
+    def test_load_wb_always_reorderable(self):
+        # Figure 3d: loads move freely around WB to the same address.
+        assert may_reorder(acc(AccKind.LOAD), acc(AccKind.WB))
+        assert may_reorder(acc(AccKind.WB), acc(AccKind.LOAD))
+
+    def test_different_addresses_unconstrained(self):
+        a = Access(AccKind.INV, 0x40)
+        b = Access(AccKind.LOAD, 0x80)
+        assert may_reorder(a, b)
+
+    def test_strict_mode_enforces_desirable_orders(self):
+        # ld x -> INV(x), WB(x) -> st x, st x <-> INV(x): keep in order.
+        assert may_reorder(acc(AccKind.LOAD), acc(AccKind.INV))
+        assert not may_reorder(acc(AccKind.LOAD), acc(AccKind.INV), strict=True)
+        assert not may_reorder(acc(AccKind.WB), acc(AccKind.STORE), strict=True)
+        assert not may_reorder(acc(AccKind.STORE), acc(AccKind.INV), strict=True)
+        assert not may_reorder(acc(AccKind.INV), acc(AccKind.STORE), strict=True)
+
+    def test_strict_mode_still_allows_load_wb(self):
+        assert may_reorder(acc(AccKind.LOAD), acc(AccKind.WB), strict=True)
+
+
+class TestCheckExecutionOrder:
+    def test_program_order_always_legal(self):
+        prog = [acc(AccKind.STORE, seq=0), acc(AccKind.WB, seq=1)]
+        check_execution_order(prog, prog)
+
+    def test_illegal_swap_detected(self):
+        prog = [acc(AccKind.INV, seq=0), acc(AccKind.LOAD, seq=1)]
+        with pytest.raises(OrderingError):
+            check_execution_order(prog, list(reversed(prog)))
+
+    def test_legal_swap_accepted(self):
+        prog = [acc(AccKind.WB, seq=0), acc(AccKind.LOAD, seq=1)]
+        check_execution_order(prog, list(reversed(prog)))
+
+    def test_non_permutation_rejected(self):
+        prog = [acc(AccKind.LOAD, seq=0)]
+        with pytest.raises(OrderingError):
+            check_execution_order(prog, [acc(AccKind.LOAD, seq=9)])
+
+
+class TestWriteBuffer:
+    def test_loads_bypass_wb_but_not_inv(self):
+        wb = WriteBuffer()
+        wb.retire(acc(AccKind.WB, addr=0x40))
+        assert wb.load_may_proceed(0x40)
+        wb.retire(acc(AccKind.INV, addr=0x40))
+        assert not wb.load_may_proceed(0x40)
+        assert wb.load_may_proceed(0x80)
+
+    def test_fifo_drain_order(self):
+        wb = WriteBuffer()
+        first = acc(AccKind.STORE, seq=0)
+        second = acc(AccKind.WB, seq=1)
+        wb.retire(first)
+        wb.retire(second)
+        assert wb.drain_one() is first
+        assert wb.drain_one() is second
+
+    def test_store_forwarding_visibility(self):
+        wb = WriteBuffer()
+        wb.retire(acc(AccKind.STORE, addr=0x40))
+        assert wb.pending_store_value_visible(0x40)
+        assert not wb.pending_store_value_visible(0x80)
+
+    def test_loads_never_enter(self):
+        with pytest.raises(OrderingError):
+            WriteBuffer().retire(acc(AccKind.LOAD))
+
+    def test_overflow_and_drain_all(self):
+        wb = WriteBuffer(capacity=2)
+        wb.retire(acc(AccKind.STORE, seq=0))
+        wb.retire(acc(AccKind.STORE, seq=1))
+        assert wb.full
+        with pytest.raises(OrderingError):
+            wb.retire(acc(AccKind.STORE, seq=2))
+        assert len(wb.drain_all()) == 2
+        assert len(wb) == 0
+
+    def test_empty_drain_rejected(self):
+        with pytest.raises(OrderingError):
+            WriteBuffer().drain_one()
+
+    def test_capacity_validation(self):
+        with pytest.raises(OrderingError):
+            WriteBuffer(capacity=0)
+
+    def test_drained_inv_unblocks_load(self):
+        wb = WriteBuffer()
+        wb.retire(acc(AccKind.INV, addr=0x40))
+        wb.drain_one()
+        assert wb.load_may_proceed(0x40)

@@ -1,0 +1,122 @@
+"""Tests for the address-space allocator and array views."""
+
+import pytest
+
+from repro.common.errors import AddressError
+from repro.common.params import WORD_BYTES
+from repro.mem.addrspace import AddressSpace, SharedArray
+
+
+class TestAddressSpace:
+    def test_alloc_line_aligned(self):
+        sp = AddressSpace(line_bytes=64)
+        a = sp.alloc("a", 5)
+        b = sp.alloc("b", 3)
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+        assert b.base >= a.end
+
+    def test_address_zero_never_mapped(self):
+        sp = AddressSpace()
+        a = sp.alloc("a", 1)
+        assert a.base > 0
+
+    def test_duplicate_name_rejected(self):
+        sp = AddressSpace()
+        sp.alloc("a", 1)
+        with pytest.raises(AddressError):
+            sp.alloc("a", 1)
+
+    def test_zero_words_rejected(self):
+        with pytest.raises(AddressError):
+            AddressSpace().alloc("a", 0)
+
+    def test_lookup_and_owner(self):
+        sp = AddressSpace()
+        a = sp.alloc("a", 4)
+        assert sp.lookup("a") is a
+        assert sp.owner_of(a.base + 4) is a
+        assert sp.owner_of(10**9) is None
+        with pytest.raises(AddressError):
+            sp.lookup("missing")
+
+
+class TestSharedArray1D:
+    def test_addresses_are_word_strided(self):
+        sp = AddressSpace()
+        arr = SharedArray(sp, "v", 8)
+        assert arr.addr(1) - arr.addr(0) == WORD_BYTES
+        assert len(arr) == 8 and arr.size == 8
+
+    def test_bounds_checked(self):
+        sp = AddressSpace()
+        arr = SharedArray(sp, "v", 8)
+        with pytest.raises(AddressError):
+            arr.addr(8)
+        with pytest.raises(AddressError):
+            arr.addr(-1)
+
+    def test_range_covers_elements(self):
+        sp = AddressSpace()
+        arr = SharedArray(sp, "v", 8)
+        addr, length = arr.range(2, 3)
+        assert addr == arr.addr(2)
+        assert length == 3 * WORD_BYTES
+
+    def test_range_default_to_end(self):
+        sp = AddressSpace()
+        arr = SharedArray(sp, "v", 8)
+        addr, length = arr.range()
+        assert addr == arr.addr(0) and length == 8 * WORD_BYTES
+
+    def test_range_out_of_bounds(self):
+        sp = AddressSpace()
+        arr = SharedArray(sp, "v", 8)
+        with pytest.raises(AddressError):
+            arr.range(6, 4)
+
+
+class TestSharedArray2D:
+    def test_packed_rows_are_contiguous(self):
+        sp = AddressSpace(line_bytes=64)
+        arr = SharedArray(sp, "m", (4, 10), pad_rows=False)
+        assert arr.addr(1, 0) - arr.addr(0, 0) == 10 * WORD_BYTES
+
+    def test_padded_rows_line_aligned(self):
+        sp = AddressSpace(line_bytes=64)
+        arr = SharedArray(sp, "m", (4, 10), pad_rows=True)
+        stride = arr.addr(1, 0) - arr.addr(0, 0)
+        assert stride == 64  # 10 words padded to one 16-word line
+        assert arr.addr(1, 0) % 64 == arr.addr(0, 0) % 64
+
+    def test_row_range(self):
+        sp = AddressSpace()
+        arr = SharedArray(sp, "m", (4, 10), pad_rows=True)
+        addr, length = arr.row_range(2)
+        assert addr == arr.addr(2, 0)
+        assert length == 10 * WORD_BYTES  # logical row only, not the pad
+
+    def test_2d_bounds(self):
+        sp = AddressSpace()
+        arr = SharedArray(sp, "m", (4, 10))
+        with pytest.raises(AddressError):
+            arr.addr(4, 0)
+        with pytest.raises(AddressError):
+            arr.addr(0, 10)
+        with pytest.raises(AddressError):
+            arr.addr(0)  # missing second index
+
+    def test_element_addrs_row_major(self):
+        sp = AddressSpace()
+        arr = SharedArray(sp, "m", (2, 3))
+        addrs = list(arr.element_addrs())
+        assert len(addrs) == 6
+        assert addrs[0] == arr.addr(0, 0)
+        assert addrs[3] == arr.addr(1, 0)
+
+    def test_bad_shape_rejected(self):
+        sp = AddressSpace()
+        with pytest.raises(AddressError):
+            SharedArray(sp, "m", (0, 3))
+        with pytest.raises(AddressError):
+            SharedArray(sp, "m3", (2, 3, 4))  # type: ignore[arg-type]

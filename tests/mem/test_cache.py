@@ -1,0 +1,113 @@
+"""Tests for the set-associative cache array with LRU replacement."""
+
+import pytest
+
+from repro.common.params import CacheParams
+from repro.mem.cache import Cache
+from repro.mem.line import CacheLine
+
+
+def tiny_cache(assoc=2, sets=4):
+    params = CacheParams(
+        size_bytes=assoc * sets * 64, assoc=assoc, line_bytes=64, round_trip=1
+    )
+    return Cache(params, name="tiny")
+
+
+def line(addr):
+    return CacheLine(addr, data=[0] * 16)
+
+
+class TestLookupInsert:
+    def test_miss_returns_none(self):
+        assert tiny_cache().lookup(5) is None
+
+    def test_insert_then_hit(self):
+        c = tiny_cache()
+        c.insert(line(5))
+        hit = c.lookup(5)
+        assert hit is not None and hit.line_addr == 5
+
+    def test_set_mapping_modulo(self):
+        c = tiny_cache(sets=4)
+        assert c.set_index(0) == 0
+        assert c.set_index(4) == 0
+        assert c.set_index(6) == 2
+
+    def test_reinsert_same_line_no_victim(self):
+        c = tiny_cache()
+        c.insert(line(5))
+        assert c.insert(line(5)) is None
+        assert c.occupancy == 1
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        c = tiny_cache(assoc=2, sets=1)
+        c.insert(line(0))
+        c.insert(line(1))
+        c.lookup(0)  # 0 becomes MRU
+        victim = c.insert(line(2))
+        assert victim is not None and victim.line_addr == 1
+
+    def test_untouched_lookup_preserves_order(self):
+        c = tiny_cache(assoc=2, sets=1)
+        c.insert(line(0))
+        c.insert(line(1))
+        c.lookup(0, touch=False)
+        victim = c.insert(line(2))
+        assert victim.line_addr == 0
+
+    def test_victim_comes_from_same_set_only(self):
+        c = tiny_cache(assoc=1, sets=4)
+        c.insert(line(0))
+        assert c.insert(line(1)) is None  # different set
+        victim = c.insert(line(4))  # same set as 0
+        assert victim.line_addr == 0
+
+
+class TestRemoveAndTraverse:
+    def test_remove_returns_line(self):
+        c = tiny_cache()
+        c.insert(line(3))
+        removed = c.remove(3)
+        assert removed.line_addr == 3
+        assert c.lookup(3) is None
+
+    def test_remove_missing_returns_none(self):
+        assert tiny_cache().remove(9) is None
+
+    def test_dirty_lines_filter(self):
+        c = tiny_cache()
+        a, b = line(0), line(1)
+        a.mark_dirty(2)
+        c.insert(a)
+        c.insert(b)
+        assert [l.line_addr for l in c.dirty_lines()] == [0]
+
+    def test_resident_line_addrs(self):
+        c = tiny_cache()
+        for la in (0, 1, 2):
+            c.insert(line(la))
+        assert sorted(c.resident_line_addrs()) == [0, 1, 2]
+
+    def test_clear_visits_and_empties(self):
+        c = tiny_cache()
+        c.insert(line(0))
+        c.insert(line(1))
+        seen = []
+        n = c.clear(on_evict=lambda l: seen.append(l.line_addr))
+        assert n == 2 and sorted(seen) == [0, 1]
+        assert c.occupancy == 0
+
+
+class TestLineID:
+    def test_line_id_within_bounds(self):
+        c = tiny_cache(assoc=2, sets=4)
+        c.insert(line(5))
+        lid = c.line_id(5)
+        assert 0 <= lid < c.params.num_lines
+
+    def test_line_id_missing_raises(self):
+        with pytest.raises(KeyError):
+            tiny_cache().line_id(9)

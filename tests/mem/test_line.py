@@ -1,0 +1,65 @@
+"""Tests for cache-line state and per-word dirty bits."""
+
+import pytest
+
+from repro.mem.line import CacheLine, MESIState
+
+
+def make_line(words=16):
+    return CacheLine(line_addr=7, data=[0] * words)
+
+
+def test_new_line_is_clean():
+    line = make_line()
+    assert not line.dirty
+    assert line.dirty_words() == []
+    assert line.num_dirty_words() == 0
+
+
+def test_mark_dirty_sets_single_word():
+    line = make_line()
+    line.mark_dirty(3)
+    assert line.dirty
+    assert line.is_word_dirty(3)
+    assert not line.is_word_dirty(2)
+    assert line.dirty_words() == [3]
+
+
+def test_mark_dirty_multiple_words():
+    line = make_line()
+    for w in (0, 5, 15):
+        line.mark_dirty(w)
+    assert line.dirty_words() == [0, 5, 15]
+    assert line.num_dirty_words() == 3
+
+
+def test_mark_dirty_idempotent():
+    line = make_line()
+    line.mark_dirty(4)
+    line.mark_dirty(4)
+    assert line.num_dirty_words() == 1
+
+
+def test_mark_dirty_out_of_range():
+    line = make_line(words=4)
+    with pytest.raises(IndexError):
+        line.mark_dirty(4)
+    with pytest.raises(IndexError):
+        line.mark_dirty(-1)
+
+
+def test_clean_clears_all_dirty_bits():
+    line = make_line()
+    line.mark_dirty(1)
+    line.mark_dirty(9)
+    line.clean()
+    assert not line.dirty
+    assert line.dirty_mask == 0
+
+
+def test_default_state_is_na_for_incoherent():
+    assert make_line().state == MESIState.NA
+
+
+def test_word_count():
+    assert make_line(words=16).word_count() == 16

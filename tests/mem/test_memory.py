@@ -1,0 +1,42 @@
+"""Tests for the functional backing store."""
+
+from repro.mem.memory import MainMemory
+
+
+def test_unwritten_words_read_zero():
+    assert MainMemory().read_word(1234) == 0
+
+
+def test_write_then_read():
+    mem = MainMemory()
+    mem.write_word(10, 3.5)
+    assert mem.read_word(10) == 3.5
+
+
+def test_read_line_gathers_words():
+    mem = MainMemory()
+    base = 4 * 16
+    mem.write_word(base + 2, "x")
+    got = mem.read_line(4, 16)
+    assert got[2] == "x" and got[0] == 0
+
+
+def test_write_line_words_respects_mask():
+    mem = MainMemory()
+    data = list(range(16))
+    mem.write_line_words(0, 16, data, mask=0b101)
+    assert mem.read_word(0) == 0  # written (value 0)
+    assert mem.read_word(2) == 2
+    assert mem.read_word(1) == 0  # untouched default
+    assert mem.touched_words == 2
+
+
+def test_write_line_words_zero_mask_noop():
+    mem = MainMemory()
+    mem.write_line_words(0, 16, list(range(16)), mask=0)
+    assert mem.touched_words == 0
+
+
+def test_word_addr_helper():
+    assert MainMemory.word_addr(64) == 16
+    assert MainMemory.word_addr(67) == 16

@@ -1,0 +1,170 @@
+"""Tests for the on-chip MPI layer (Section IV)."""
+
+import pytest
+
+from repro import Machine, inter_block_machine, intra_block_machine
+from repro.common.errors import MPIError
+from repro.core.config import (
+    INTER_ADDR_L,
+    INTER_HCC,
+    INTRA_BASE,
+    INTRA_BMI,
+    INTRA_HCC,
+)
+from repro.mpi.api import MPIComm
+
+
+def run_mpi(config, program, *, threads=2, params=None, **comm_kw):
+    m = Machine(params or intra_block_machine(4), config, num_threads=threads)
+    comm = MPIComm(m, **comm_kw)
+    results = {}
+    m.spawn_all(lambda ctx: program(ctx, comm, results))
+    m.run()
+    return results
+
+
+@pytest.mark.parametrize("config", [INTRA_HCC, INTRA_BASE, INTRA_BMI])
+def test_send_recv_roundtrip(config):
+    def program(ctx, comm, results):
+        if ctx.tid == 0:
+            yield from comm.send(ctx, 1, [1.5, 2.5, 3.5])
+        else:
+            values = yield from comm.recv(ctx, 0)
+            results["got"] = values
+
+    results = run_mpi(config, program)
+    assert results["got"] == [1.5, 2.5, 3.5]
+
+
+def test_multiple_messages_in_order():
+    def program(ctx, comm, results):
+        if ctx.tid == 0:
+            for k in range(6):
+                yield from comm.send(ctx, 1, [k, k * k])
+        else:
+            got = []
+            for _ in range(6):
+                got.append((yield from comm.recv(ctx, 0)))
+            results["got"] = got
+
+    results = run_mpi(INTRA_BMI, program)
+    assert results["got"] == [[k, k * k] for k in range(6)]
+
+
+def test_flow_control_beyond_capacity():
+    """More messages than ring slots: flow control must kick in, not corrupt."""
+
+    def program(ctx, comm, results):
+        n = 10
+        if ctx.tid == 0:
+            for k in range(n):
+                yield from comm.send(ctx, 1, [k])
+        else:
+            got = []
+            for _ in range(n):
+                got.append((yield from comm.recv(ctx, 0))[0])
+            results["got"] = got
+
+    results = run_mpi(INTRA_BMI, program, capacity=2)
+    assert results["got"] == list(range(10))
+
+
+def test_bidirectional_exchange():
+    def program(ctx, comm, results):
+        peer = 1 - ctx.tid
+        yield from comm.send(ctx, peer, [ctx.tid * 11])
+        got = yield from comm.recv(ctx, peer)
+        results[ctx.tid] = got[0]
+
+    results = run_mpi(INTRA_BMI, program)
+    assert results == {0: 11, 1: 0}
+
+
+@pytest.mark.parametrize("config", [INTRA_HCC, INTRA_BMI])
+def test_broadcast_single_write_many_readers(config):
+    def program(ctx, comm, results):
+        values = yield from comm.bcast(ctx, 0, [7, 8] if ctx.tid == 0 else None)
+        results[ctx.tid] = values
+
+    results = run_mpi(config, program, threads=4)
+    assert all(results[t] == [7, 8] for t in range(4))
+
+
+def test_broadcast_ring_reuse():
+    def program(ctx, comm, results):
+        got = []
+        for rnd in range(5):
+            values = yield from comm.bcast(
+                ctx, 0, [rnd] if ctx.tid == 0 else None
+            )
+            got.append(values[0])
+        results[ctx.tid] = got
+
+    results = run_mpi(INTRA_BMI, program, threads=3, capacity=2)
+    assert all(results[t] == [0, 1, 2, 3, 4] for t in range(3))
+
+
+def test_isend_wait_irecv():
+    def program(ctx, comm, results):
+        if ctx.tid == 0:
+            handle = yield from comm.isend(ctx, 1, [5])
+            assert handle.done
+        else:
+            handle = comm.irecv(ctx, 0)
+            values = yield from comm.wait(ctx, handle)
+            results["got"] = values
+
+    results = run_mpi(INTRA_BMI, program)
+    assert results["got"] == [5]
+
+
+@pytest.mark.parametrize("config", [INTER_HCC, INTER_ADDR_L])
+def test_hybrid_across_blocks(config):
+    """MPI between blocks on the inter-block machine (Model 1's other half).
+
+    The incoherent case is the regression that matters: cross-block slots
+    must be posted through the L3 (WB_L3/INV_L2), not just to the block L2.
+    """
+
+    def program(ctx, comm, results):
+        if ctx.tid == 0:  # block 0
+            yield from comm.send(ctx, 3, ["hello"])
+        elif ctx.tid == 3:  # block 1
+            results["got"] = (yield from comm.recv(ctx, 0))
+
+    results = run_mpi(
+        config, program, threads=4, params=inter_block_machine(2, 2)
+    )
+    assert results["got"] == ["hello"]
+
+
+@pytest.mark.parametrize("config", [INTER_HCC, INTER_ADDR_L])
+def test_cross_block_broadcast(config):
+    def program(ctx, comm, results):
+        values = yield from comm.bcast(ctx, 0, [1, 2] if ctx.tid == 0 else None)
+        results[ctx.tid] = values
+
+    results = run_mpi(
+        config, program, threads=4, params=inter_block_machine(2, 2)
+    )
+    assert all(results[t] == [1, 2] for t in range(4))
+
+
+def test_message_too_long_rejected():
+    def program(ctx, comm, results):
+        if ctx.tid == 0:
+            with pytest.raises(MPIError):
+                yield from comm.send(ctx, 1, list(range(100)))
+        yield from ctx.barrier()
+
+    run_mpi(INTRA_BMI, program, max_words=4)
+
+
+def test_self_send_rejected():
+    def program(ctx, comm, results):
+        if ctx.tid == 0:
+            with pytest.raises(MPIError):
+                yield from comm.send(ctx, 0, [1])
+        yield from ctx.barrier()
+
+    run_mpi(INTRA_BMI, program)

@@ -1,0 +1,74 @@
+"""Tests for the 2D mesh model."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import inter_block_machine, intra_block_machine
+from repro.noc.mesh import Mesh
+
+
+@pytest.fixture
+def mesh16():
+    return Mesh(intra_block_machine(16))
+
+
+@pytest.fixture
+def mesh32():
+    return Mesh(inter_block_machine())
+
+
+class TestTopology:
+    def test_16_cores_on_4x4(self, mesh16):
+        assert mesh16.dim == 4
+        assert mesh16.core_tile(0) == (0, 0)
+        assert mesh16.core_tile(5) == (1, 1)
+        assert mesh16.core_tile(15) == (3, 3)
+
+    def test_l2_banks_colocated_with_cores(self, mesh16):
+        for c in range(16):
+            assert mesh16.l2_bank_tile(c) == mesh16.core_tile(c)
+
+    def test_l3_banks_at_corners(self, mesh32):
+        corners = {(0, 0), (0, mesh32.dim - 1), (mesh32.dim - 1, 0),
+                   (mesh32.dim - 1, mesh32.dim - 1)}
+        for b in range(4):
+            assert mesh32.l3_bank_tile(b) in corners
+
+    def test_out_of_range_core(self, mesh16):
+        with pytest.raises(ConfigError):
+            mesh16.core_tile(16)
+
+    def test_memory_at_corners(self, mesh16):
+        assert mesh16.mem_controller_tile(0) == (0, 0)
+        assert mesh16.nearest_mem_tile((0, 1)) == (0, 0)
+
+
+class TestLatency:
+    def test_manhattan_hops(self, mesh16):
+        assert mesh16.hops_between((0, 0), (2, 3)) == 5
+        assert mesh16.hops_between((1, 1), (1, 1)) == 0
+
+    def test_latency_is_hops_times_4(self, mesh16):
+        assert mesh16.latency((0, 0), (1, 1)) == 8
+
+    def test_core_to_l2_local_is_zero(self, mesh16):
+        assert mesh16.core_to_l2(3, 3) == 0
+
+    def test_core_to_core_symmetric(self, mesh16):
+        assert mesh16.core_to_core(0, 15) == mesh16.core_to_core(15, 0)
+
+    def test_avg_hops_positive(self, mesh16):
+        assert 0 < mesh16.avg_hops() < 2 * mesh16.dim
+
+
+class TestTraffic:
+    def test_control_message_one_flit(self, mesh16):
+        assert mesh16.control_flits() == 1
+
+    def test_data_flits_header_plus_payload(self, mesh16):
+        # 64B line on 16B links = 4 payload flits + 1 header.
+        assert mesh16.data_flits(64) == 5
+        assert mesh16.data_flits(4) == 2
+
+    def test_flits_min_one(self, mesh16):
+        assert mesh16.flits(0) == 1

@@ -1,0 +1,64 @@
+"""Tests for thread placement and block membership."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import inter_block_machine
+from repro.noc.placement import (
+    Placement,
+    identity_placement,
+    round_robin_placement,
+)
+
+
+@pytest.fixture
+def machine():
+    return inter_block_machine(4, 8)
+
+
+def test_identity_blocks(machine):
+    p = identity_placement(machine, 32)
+    assert p.core_of(0) == 0
+    assert p.block_of_thread(0) == 0
+    assert p.block_of_thread(8) == 1
+    assert p.same_block(0, 7)
+    assert not p.same_block(7, 8)
+
+
+def test_round_robin_scatters(machine):
+    p = round_robin_placement(machine, 8)
+    blocks = [p.block_of_thread(t) for t in range(8)]
+    assert blocks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_threads_in_block(machine):
+    p = identity_placement(machine, 32)
+    assert p.threads_in_block(2) == list(range(16, 24))
+
+
+def test_thread_of_inverse(machine):
+    p = identity_placement(machine, 16)
+    assert p.thread_of(5) == 5
+    assert p.thread_of(31) is None  # no thread there
+
+
+def test_one_to_one_enforced(machine):
+    with pytest.raises(ConfigError):
+        Placement(machine, (0, 0, 1))
+
+
+def test_core_range_enforced(machine):
+    with pytest.raises(ConfigError):
+        Placement(machine, (0, 99))
+
+
+def test_too_many_threads(machine):
+    with pytest.raises(ConfigError):
+        identity_placement(machine, 33)
+
+
+def test_custom_permutation(machine):
+    p = Placement(machine, (31, 0, 8))
+    assert p.block_of_thread(0) == 3
+    assert p.block_of_thread(1) == 0
+    assert p.block_of_thread(2) == 1

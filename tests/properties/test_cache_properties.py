@@ -1,0 +1,103 @@
+"""Property-based tests: cache structure against a reference model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import CacheParams
+from repro.mem.cache import Cache
+from repro.mem.line import CacheLine
+
+
+def make_cache(assoc=2, sets=4):
+    return Cache(
+        CacheParams(
+            size_bytes=assoc * sets * 64, assoc=assoc, line_bytes=64, round_trip=1
+        )
+    )
+
+
+#: Operations: ("insert", addr) or ("lookup", addr) or ("remove", addr).
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "lookup", "remove"]),
+        st.integers(min_value=0, max_value=31),
+    ),
+    max_size=60,
+)
+
+
+class RefCache:
+    """Reference LRU model: per-set ordered list, MRU at the end."""
+
+    def __init__(self, assoc, sets):
+        self.assoc = assoc
+        self.sets = [[] for _ in range(sets)]
+
+    def _set(self, addr):
+        return self.sets[addr % len(self.sets)]
+
+    def insert(self, addr):
+        s = self._set(addr)
+        if addr in s:
+            s.remove(addr)
+        elif len(s) >= self.assoc:
+            s.pop(0)
+        s.append(addr)
+
+    def lookup(self, addr):
+        s = self._set(addr)
+        if addr in s:
+            s.remove(addr)
+            s.append(addr)
+            return True
+        return False
+
+    def remove(self, addr):
+        s = self._set(addr)
+        if addr in s:
+            s.remove(addr)
+
+    def resident(self):
+        return sorted(a for s in self.sets for a in s)
+
+
+@given(ops_strategy)
+@settings(max_examples=200)
+def test_cache_matches_reference_lru(ops):
+    cache = make_cache()
+    ref = RefCache(2, 4)
+    for kind, addr in ops:
+        if kind == "insert":
+            cache.insert(CacheLine(addr, [0] * 16))
+            ref.insert(addr)
+        elif kind == "lookup":
+            got = cache.lookup(addr) is not None
+            want = ref.lookup(addr)
+            assert got == want
+        else:
+            cache.remove(addr)
+            ref.remove(addr)
+        assert sorted(cache.resident_line_addrs()) == ref.resident()
+
+
+@given(ops_strategy)
+@settings(max_examples=100)
+def test_occupancy_never_exceeds_capacity(ops):
+    cache = make_cache(assoc=2, sets=2)
+    for kind, addr in ops:
+        if kind == "insert":
+            cache.insert(CacheLine(addr, [0] * 16))
+    assert cache.occupancy <= 4
+    for s in cache._sets:
+        assert len(s) <= 2
+
+
+@given(st.sets(st.integers(min_value=0, max_value=15), max_size=16))
+@settings(max_examples=100)
+def test_dirty_mask_roundtrip(words):
+    line = CacheLine(0, [0] * 16)
+    for w in words:
+        line.mark_dirty(w)
+    assert set(line.dirty_words()) == words
+    assert line.num_dirty_words() == len(words)
+    line.clean()
+    assert not line.dirty

@@ -1,0 +1,135 @@
+"""Property-based tests at the programming-model level.
+
+Random barrier-structured SPMD programs must produce interpreter-identical
+results under every Table II configuration, and random affine IR programs
+must match the reference interpreter under every inter-block mode — the
+core soundness claim of both programming models.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, inter_block_machine, intra_block_machine
+from repro.compiler import ir
+from repro.compiler.executor import ModelTwoRunner
+from repro.compiler.interp import interpret
+from repro.core.config import INTER_CONFIGS, INTRA_CONFIGS
+from repro.isa import ops as isa
+
+N = 32  # shared array elements
+THREADS = 4
+
+
+# ---------------------------------------------------------------------------
+# Model 1: random barrier-phase programs
+# ---------------------------------------------------------------------------
+
+#: A phase: each thread writes f(i) to a slice and reads a rotated slice.
+phase_strategy = st.tuples(
+    st.integers(min_value=1, max_value=THREADS),  # rotation distance
+    st.integers(min_value=1, max_value=7),  # multiplier
+)
+
+
+@given(st.lists(phase_strategy, min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_model1_random_barrier_programs_match_reference(phases):
+    chunk = N // THREADS
+
+    def reference():
+        data = [0] * N
+        for rot, mult in phases:
+            src = list(data)
+            for t in range(THREADS):
+                for k in range(chunk):
+                    peer = ((t + rot) % THREADS) * chunk + k
+                    data[t * chunk + k] = src[peer] * mult + 1
+        return data
+
+    def program(ctx, arr):
+        t = ctx.tid
+        for rot, mult in phases:
+            # Read the rotated peer chunk, then write own chunk.
+            vals = []
+            for k in range(chunk):
+                peer = ((t + rot) % THREADS) * chunk + k
+                v = yield isa.Read(arr.addr(peer))
+                vals.append(v * mult + 1)
+            yield from ctx.barrier()  # everyone done reading
+            for k, v in enumerate(vals):
+                yield isa.Write(arr.addr(t * chunk + k), v)
+            yield from ctx.barrier()  # everyone done writing
+
+    want = reference()
+    for config in INTRA_CONFIGS:
+        m = Machine(intra_block_machine(THREADS), config, num_threads=THREADS)
+        arr = m.array("data", N)
+        m.spawn_all(lambda ctx: program(ctx, arr))
+        m.run()
+        assert m.read_array(arr) == want, config.name
+
+
+# ---------------------------------------------------------------------------
+# Model 2: random affine stencil programs
+# ---------------------------------------------------------------------------
+
+stencil_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=-2, max_value=2),  # read offset
+        st.integers(min_value=1, max_value=5),  # scale
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+@given(stencil_strategy, st.integers(min_value=1, max_value=3))
+@settings(max_examples=20, deadline=None)
+def test_model2_random_affine_programs_match_interpreter(taps, iters):
+    margin = 2
+    length = N - 2 * margin
+
+    def make_fn(scales):
+        def fn(i, *vals):
+            return sum(s * v for s, v in zip(scales, vals)) + 1
+        return fn
+
+    fwd = ir.ParallelFor(
+        "fwd",
+        length,
+        (
+            ir.Assign(
+                ir.Ref("b", ir.Affine(1, margin)),
+                tuple(
+                    ir.Ref("a", ir.Affine(1, margin + off)) for off, _ in taps
+                ),
+                make_fn([s for _, s in taps]),
+            ),
+        ),
+    )
+    bwd = ir.ParallelFor(
+        "bwd",
+        length,
+        (
+            ir.Assign(
+                ir.Ref("a", ir.Affine(1, margin)),
+                (ir.Ref("b", ir.Affine(1, margin)),),
+                lambda i, v: v,
+            ),
+        ),
+    )
+    program = ir.IRProgram(
+        "stencil", {"a": N, "b": N}, (ir.Loop(iters, (fwd, bwd)),)
+    )
+    pre = {"a": list(range(N))}
+    want = interpret(program, THREADS, pre)
+
+    for config in INTER_CONFIGS:
+        machine = Machine(
+            inter_block_machine(2, 2), config, num_threads=THREADS
+        )
+        runner = ModelTwoRunner(machine, program)
+        runner.preload("a", pre["a"])
+        runner.spawn_all()
+        machine.run()
+        assert runner.result("a") == want["a"], config.name
+        assert runner.result("b") == want["b"], config.name

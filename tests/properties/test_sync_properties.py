@@ -1,0 +1,82 @@
+"""Property-based tests on the synchronization controller.
+
+Random critical-section schedules must preserve mutual exclusion and lose no
+increments; random flag schedules must wake exactly the satisfied waiters.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, intra_block_machine
+from repro.core.config import INTRA_BASE, INTRA_BMI, INTRA_HCC
+from repro.isa import ops as isa
+
+#: Per-thread schedule: a list of (lock id, hold cycles, increments).
+cs_schedule = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # lock id
+        st.integers(min_value=0, max_value=30),  # compute inside CS
+        st.integers(min_value=1, max_value=3),  # increments to the counter
+    ),
+    max_size=5,
+)
+
+
+@given(st.lists(cs_schedule, min_size=2, max_size=4))
+@settings(max_examples=25, deadline=None)
+def test_random_critical_sections_lose_no_increments(schedules):
+    for config in (INTRA_HCC, INTRA_BASE, INTRA_BMI):
+        m = Machine(
+            intra_block_machine(len(schedules)), config,
+            num_threads=len(schedules),
+        )
+        counters = m.array("counters", 16)
+
+        def program(ctx):
+            for lid, hold, incs in schedules[ctx.tid]:
+                yield from ctx.lock_acquire(lid, occ=False)
+                for _ in range(incs):
+                    v = yield isa.Read(counters.addr(lid))
+                    yield isa.Write(counters.addr(lid), v + 1)
+                if hold:
+                    yield isa.Compute(hold)
+                yield from ctx.lock_release(lid, occ=False)
+
+        m.spawn_all(program)
+        m.run()
+        want = [0, 0, 0]
+        for sched in schedules:
+            for lid, _, incs in sched:
+                want[lid] += incs
+        got = [m.read_word(counters.addr(lid)) for lid in range(3)]
+        assert got == want, (config.name, got, want)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=3),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_flag_thresholds_release_exactly_when_reached(thresholds, steps):
+    """One setter raises a flag step by step; waiters with random thresholds
+    wake iff their threshold is ever reached, and deadlock otherwise."""
+    reachable = [th for th in thresholds if th <= steps]
+    if len(reachable) != len(thresholds):
+        return  # unreachable waiters would (correctly) deadlock; skip
+    n = 1 + len(thresholds)
+    m = Machine(intra_block_machine(max(2, n)), INTRA_HCC, num_threads=n)
+    order = m.array("order", 16)
+
+    def program(ctx):
+        if ctx.tid == 0:
+            for step in range(1, steps + 1):
+                yield isa.Compute(20)
+                yield from ctx.flag_set(0, value=step)
+        else:
+            th = thresholds[ctx.tid - 1]
+            yield from ctx.flag_wait(0, value=th)
+            yield isa.Write(order.addr(ctx.tid), th)
+
+    m.spawn_all(program)
+    m.run()
+    for k, th in enumerate(thresholds):
+        assert m.read_word(order.addr(k + 1)) == th

@@ -1,0 +1,76 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.sim.engine import Engine
+
+
+def test_time_ordering():
+    eng = Engine()
+    seen = []
+    eng.schedule(10, lambda: seen.append("b"))
+    eng.schedule(5, lambda: seen.append("a"))
+    eng.schedule(20, lambda: seen.append("c"))
+    assert eng.run() == 20
+    assert seen == ["a", "b", "c"]
+
+
+def test_fifo_among_equal_times():
+    eng = Engine()
+    seen = []
+    for tag in ("first", "second", "third"):
+        eng.schedule(7, lambda t=tag: seen.append(t))
+    eng.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_nested_scheduling_relative_to_now():
+    eng = Engine()
+    times = []
+
+    def outer():
+        times.append(eng.now)
+        eng.schedule(5, lambda: times.append(eng.now))
+
+    eng.schedule(10, outer)
+    assert eng.run() == 15
+    assert times == [10, 15]
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule(-1, lambda: None)
+
+
+def test_deadlock_detection():
+    eng = Engine()
+    eng.register_entity()  # never finishes, no events
+    with pytest.raises(DeadlockError):
+        eng.run()
+
+
+def test_entity_lifecycle_clean_exit():
+    eng = Engine()
+    eng.register_entity()
+    eng.schedule(3, eng.entity_finished)
+    assert eng.run() == 3
+    assert eng.live_entities == 0
+
+
+def test_entity_finished_without_register():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.entity_finished()
+
+
+def test_max_cycles_guard():
+    eng = Engine()
+    eng.schedule(1000, lambda: None)
+    with pytest.raises(SimulationError):
+        eng.run(max_cycles=500)
+
+
+def test_empty_run_returns_zero():
+    assert Engine().run() == 0

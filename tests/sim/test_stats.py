@@ -1,0 +1,80 @@
+"""Tests for stall/traffic accounting."""
+
+from repro.sim.stats import CoreStats, MachineStats, StallCat, TrafficCat
+
+
+def test_stall_categories_match_figure9():
+    assert {c.value for c in StallCat} == {
+        "inv_stall",
+        "wb_stall",
+        "lock_stall",
+        "barrier_stall",
+        "rest",
+    }
+
+
+def test_traffic_categories_cover_figure10_plus_sync():
+    assert {c.value for c in TrafficCat} == {
+        "memory",
+        "linefill",
+        "writeback",
+        "invalidation",
+        "sync",
+    }
+
+
+def test_core_stats_accumulation():
+    cs = CoreStats()
+    cs.add_stall(StallCat.WB, 10)
+    cs.add_stall(StallCat.WB, 5)
+    cs.add_stall(StallCat.REST, 7)
+    assert cs.stalls[StallCat.WB] == 15
+    assert cs.total_cycles == 22
+
+
+def test_machine_stats_traffic_and_total():
+    ms = MachineStats.for_cores(2)
+    ms.add_traffic(TrafficCat.LINEFILL, 5)
+    ms.add_traffic(TrafficCat.MEMORY, 3)
+    assert ms.total_flits == 8
+
+
+def test_traffic_freeze_stops_accounting():
+    ms = MachineStats.for_cores(1)
+    ms.add_traffic(TrafficCat.WRITEBACK, 4)
+    ms.frozen = True
+    ms.add_traffic(TrafficCat.WRITEBACK, 100)
+    assert ms.traffic[TrafficCat.WRITEBACK] == 4
+
+
+def test_breakdown_scales_to_exec_time():
+    ms = MachineStats.for_cores(2)
+    ms.per_core[0].add_stall(StallCat.REST, 80)
+    ms.per_core[0].add_stall(StallCat.WB, 20)
+    ms.per_core[1].add_stall(StallCat.REST, 100)
+    ms.exec_time = 200
+    b = ms.breakdown()
+    # Bars sum to exec_time, split proportionally to mean per-core cycles.
+    assert abs(sum(b.values()) - 200) < 1e-9
+    assert b["wb_stall"] > 0
+
+
+def test_breakdown_empty_run():
+    ms = MachineStats.for_cores(1)
+    assert all(v == 0.0 for v in ms.breakdown().values())
+
+
+def test_summary_keys_stable():
+    ms = MachineStats.for_cores(1)
+    s = ms.summary()
+    for key in ("exec_time", "loads", "stores", "l1_hits", "l1_misses",
+                "wb_ops", "inv_ops", "global_wb_lines", "global_inv_lines",
+                "dir_invalidations", "total_flits"):
+        assert key in s
+
+
+def test_stall_total_sums_cores():
+    ms = MachineStats.for_cores(3)
+    for core in ms.per_core:
+        core.add_stall(StallCat.LOCK, 5)
+    assert ms.stall_total(StallCat.LOCK) == 15

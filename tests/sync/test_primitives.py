@@ -1,0 +1,109 @@
+"""Tests for lock/barrier/flag state machines."""
+
+import pytest
+
+from repro.common.errors import SyncError
+from repro.sync.primitives import BarrierState, FlagState, LockState
+
+
+def cb():
+    return lambda: None
+
+
+class TestLock:
+    def test_immediate_grant_when_free(self):
+        lock = LockState()
+        assert lock.acquire(0, cb())
+        assert lock.holder == 0
+
+    def test_fifo_queueing(self):
+        lock = LockState()
+        lock.acquire(0, cb())
+        assert not lock.acquire(1, cb())
+        assert not lock.acquire(2, cb())
+        nxt = lock.release(0)
+        assert nxt[0] == 1
+        nxt = lock.release(1)
+        assert nxt[0] == 2
+        assert lock.release(2) is None
+        assert lock.holder is None
+
+    def test_release_by_non_holder_rejected(self):
+        lock = LockState()
+        lock.acquire(0, cb())
+        with pytest.raises(SyncError):
+            lock.release(1)
+
+    def test_reacquire_by_holder_rejected(self):
+        lock = LockState()
+        lock.acquire(0, cb())
+        with pytest.raises(SyncError):
+            lock.acquire(0, cb())
+
+
+class TestBarrier:
+    def test_releases_when_full(self):
+        bar = BarrierState(count=3)
+        assert bar.arrive(0, cb()) is None
+        assert bar.arrive(1, cb()) is None
+        released = bar.arrive(2, cb())
+        assert [c for c, _ in released] == [0, 1, 2]
+        assert bar.generation == 1
+
+    def test_reusable_across_generations(self):
+        bar = BarrierState(count=2)
+        bar.arrive(0, cb())
+        bar.arrive(1, cb())
+        bar.arrive(1, cb())  # next phase
+        released = bar.arrive(0, cb())
+        assert released is not None
+        assert bar.generation == 2
+
+    def test_double_arrival_same_phase_rejected(self):
+        bar = BarrierState(count=3)
+        bar.arrive(0, cb())
+        with pytest.raises(SyncError):
+            bar.arrive(0, cb())
+
+    def test_single_participant_releases_immediately(self):
+        bar = BarrierState(count=1)
+        assert bar.arrive(5, cb()) is not None
+
+    def test_zero_count_rejected(self):
+        bar = BarrierState(count=0)
+        with pytest.raises(SyncError):
+            bar.arrive(0, cb())
+
+
+class TestFlag:
+    def test_wait_satisfied_immediately(self):
+        flag = FlagState()
+        flag.set(2)
+        assert flag.wait(0, 1, cb())
+
+    def test_wait_queues_until_threshold(self):
+        flag = FlagState()
+        assert not flag.wait(0, 3, cb())
+        assert flag.set(2) == []
+        ready = flag.set(3)
+        assert [c for c, _ in ready] == [0]
+
+    def test_partial_release(self):
+        flag = FlagState()
+        flag.wait(0, 1, cb())
+        flag.wait(1, 5, cb())
+        ready = flag.set(2)
+        assert [c for c, _ in ready] == [0]
+        assert len(flag.waiters) == 1
+
+    def test_monotonicity_enforced(self):
+        flag = FlagState()
+        flag.set(5)
+        with pytest.raises(SyncError):
+            flag.set(3)
+
+    def test_equal_set_allowed(self):
+        flag = FlagState()
+        flag.set(5)
+        flag.set(5)  # idempotent re-set is fine
+        assert flag.value == 5

@@ -1,0 +1,78 @@
+"""Functional verification of the Model-2 workloads under every config."""
+
+import pytest
+
+from repro import Machine, inter_block_machine
+from repro.core.config import INTER_CONFIGS, INTER_ADDR, INTER_ADDR_L
+from repro.workloads import MODEL_TWO
+
+SMALL_SCALE = {
+    "jacobi": 0.15,
+    "ep": 0.25,
+    "is": 0.15,
+    "cg": 0.35,
+}
+
+
+@pytest.mark.parametrize("config", INTER_CONFIGS, ids=lambda c: c.name)
+@pytest.mark.parametrize("app", sorted(SMALL_SCALE))
+def test_workload_verifies(app, config):
+    machine = Machine(inter_block_machine(2, 2), config, num_threads=4)
+    MODEL_TWO[app](scale=SMALL_SCALE[app]).run_on(machine)
+
+
+@pytest.mark.parametrize("app", sorted(SMALL_SCALE))
+def test_full_machine_addr_level(app):
+    """Each app verifies on the paper's 4×8 machine under Addr+L."""
+    machine = Machine(inter_block_machine(4, 8), INTER_ADDR_L, num_threads=32)
+    MODEL_TWO[app](scale=SMALL_SCALE[app]).run_on(machine)
+
+
+class TestFigure11Shapes:
+    def _global_ops(self, app, config, scale):
+        machine = Machine(inter_block_machine(4, 8), config, num_threads=32)
+        stats = MODEL_TWO[app](scale=scale).run_on(machine)
+        return stats.global_wb_lines, stats.global_inv_lines
+
+    def test_reductions_cannot_be_localized(self):
+        """EP: Addr and Addr+L issue identical global op counts."""
+        addr = self._global_ops("ep", INTER_ADDR, 0.25)
+        addr_l = self._global_ops("ep", INTER_ADDR_L, 0.25)
+        assert addr == addr_l
+
+    def test_jacobi_localizes_most_ops(self):
+        addr_wb, addr_inv = self._global_ops("jacobi", INTER_ADDR, 0.3)
+        al_wb, al_inv = self._global_ops("jacobi", INTER_ADDR_L, 0.3)
+        assert al_wb < 0.5 * addr_wb
+        assert al_inv < 0.5 * addr_inv
+
+    def test_cg_localizes_invs_not_wbs(self):
+        """CG: some INVs become local; WBs stay global (whole-range WB_L3)."""
+        addr_wb, addr_inv = self._global_ops("cg", INTER_ADDR, 0.35)
+        al_wb, al_inv = self._global_ops("cg", INTER_ADDR_L, 0.35)
+        assert al_wb == addr_wb
+        assert 0.5 * addr_inv < al_inv < addr_inv
+
+
+class TestHierarchicalReduction:
+    """Paper §VII-C: rewriting reductions hierarchically restores locality."""
+
+    @pytest.mark.parametrize("config", INTER_CONFIGS, ids=lambda c: c.name)
+    def test_ep_hier_verifies(self, config):
+        machine = Machine(inter_block_machine(2, 2), config, num_threads=4)
+        MODEL_TWO["ep_hier"](scale=0.25, num_blocks=2).run_on(machine)
+
+    def test_hier_reduce_localizes_global_ops(self):
+        flat_machine = Machine(
+            inter_block_machine(4, 8), INTER_ADDR_L, num_threads=32
+        )
+        flat = MODEL_TWO["ep"](scale=0.5).run_on(flat_machine)
+        hier_machine = Machine(
+            inter_block_machine(4, 8), INTER_ADDR_L, num_threads=32
+        )
+        hier = MODEL_TWO["ep_hier"](scale=0.5, num_blocks=4).run_on(hier_machine)
+        # The rewrite turns most global WB/INV lines into local ones.
+        assert hier.global_wb_lines < flat.global_wb_lines
+        assert hier.global_inv_lines < flat.global_inv_lines
+        # And it is faster end to end.
+        assert hier.exec_time < flat.exec_time

@@ -1,0 +1,73 @@
+"""Functional verification of every SPLASH workload under every config.
+
+Each case runs a scaled-down instance on a 4-core block and checks the
+numerical result against the workload's sequential reference — the strongest
+evidence that the Model-1 annotations are sufficient on the incoherent
+hierarchy.  A few additional cases run at 16 cores for the paper machine.
+"""
+
+import pytest
+
+from repro import Machine, intra_block_machine
+from repro.core.config import INTRA_CONFIGS
+from repro.workloads import MODEL_ONE
+
+SMALL_SCALE = {
+    # Keep each case under ~1s of wall time.
+    "fft": 0.6,
+    "lu_cont": 0.5,
+    "lu_noncont": 0.5,
+    "cholesky": 0.8,
+    "barnes": 0.5,
+    "raytrace": 0.5,
+    "volrend": 0.5,
+    "ocean_cont": 0.6,
+    "ocean_noncont": 0.6,
+    "water_nsq": 0.4,
+    "water_sp": 0.4,
+}
+
+
+@pytest.mark.parametrize("config", INTRA_CONFIGS, ids=lambda c: c.name)
+@pytest.mark.parametrize("app", sorted(MODEL_ONE))
+def test_workload_verifies(app, config):
+    machine = Machine(intra_block_machine(4), config, num_threads=4)
+    workload = MODEL_ONE[app](scale=SMALL_SCALE[app])
+    workload.run_on(machine)  # verify() raises on any mismatch
+
+
+@pytest.mark.parametrize("app", ["raytrace", "cholesky", "water_nsq"])
+def test_lock_heavy_apps_at_16_cores(app):
+    """The fine-grain apps also verify at the paper's 16-core block."""
+    from repro.core.config import INTRA_BMI
+
+    machine = Machine(intra_block_machine(16), INTRA_BMI, num_threads=16)
+    MODEL_ONE[app](scale=0.6).run_on(machine)
+
+
+def test_table1_patterns_declared():
+    """Every app declares its Table I communication patterns."""
+    from repro.workloads.base import Pattern
+
+    want_main = {
+        "fft": (Pattern.BARRIER,),
+        "cholesky": (Pattern.OUTSIDE_CRITICAL,),
+        "raytrace": (Pattern.CRITICAL,),
+    }
+    for app, patterns in want_main.items():
+        assert MODEL_ONE[app].main_patterns == patterns
+    assert Pattern.DATA_RACE in MODEL_ONE["raytrace"].other_patterns
+    assert Pattern.FLAG in MODEL_ONE["cholesky"].other_patterns
+
+
+def test_lu_layouts_differ_in_sharing():
+    """Packed rows must actually share lines across owners; padded must not."""
+    from repro.core.config import INTRA_HCC
+
+    flits = {}
+    for app in ("lu_cont", "lu_noncont"):
+        machine = Machine(intra_block_machine(4), INTRA_HCC, num_threads=4)
+        stats = MODEL_ONE[app](scale=0.5).run_on(machine)
+        flits[app] = stats.dir_invalidations
+    # False sharing in the packed layout drives extra invalidations.
+    assert flits["lu_noncont"] > flits["lu_cont"]
