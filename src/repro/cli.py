@@ -5,8 +5,13 @@ Usage (also via ``python -m repro``)::
     repro list                              # workloads and configurations
     repro run fft --config B+M+I            # one intra-block run
     repro run cg --config Addr+L --scale .5 # one inter-block run
-    repro fig9 [--scale S]                  # regenerate a figure/table
+    repro fig9 [--scale S] [--jobs N]       # regenerate a figure/table
     repro fig10 | fig11 | fig12 | table1 | table3 | storage
+
+Figure sweeps fan out over ``--jobs`` worker processes (default: CPU count)
+and reuse verified results from the persistent cache under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-sweeps``); ``--no-cache``
+forces fresh simulation and ``--clear-cache`` empties the cache first.
 
 Every ``run`` is functionally verified before its statistics print, exactly
 like the test suite.
@@ -91,37 +96,60 @@ def _cmd_run(args) -> int:
 _PAPER_INTER_APPS = ["cg", "ep", "is", "jacobi"]
 
 
+def _sweep_executor(args):
+    """Build the SweepExecutor a figure command asked for on its flags."""
+    from repro.eval.cache import ResultCache
+    from repro.eval.parallel import SweepExecutor
+
+    cache = None if args.no_cache else ResultCache()
+    if args.clear_cache:
+        n = (cache or ResultCache()).clear()
+        print(f"cache cleared ({n} entries)", file=sys.stderr)
+    return SweepExecutor(jobs=args.jobs, cache=cache)
+
+
 def _cmd_fig9(args) -> int:
-    results = sweep_intra(sorted(MODEL_ONE), list(INTRA_CONFIGS), scale=args.scale)
+    ex = _sweep_executor(args)
+    results = sweep_intra(
+        sorted(MODEL_ONE), list(INTRA_CONFIGS), executor=ex, scale=args.scale
+    )
     print(rpt.render_fig9(results))
+    print(ex.stats.summary(), file=sys.stderr)
     return 0
 
 
 def _cmd_fig10(args) -> int:
     from repro.core.config import INTRA_BMI, INTRA_HCC
 
+    ex = _sweep_executor(args)
     results = sweep_intra(
-        sorted(MODEL_ONE), [INTRA_HCC, INTRA_BMI], scale=args.scale
+        sorted(MODEL_ONE), [INTRA_HCC, INTRA_BMI], executor=ex, scale=args.scale
     )
     print(rpt.render_fig10(results))
+    print(ex.stats.summary(), file=sys.stderr)
     return 0
 
 
 def _cmd_fig11(args) -> int:
     from repro.core.config import INTER_ADDR, INTER_ADDR_L
 
+    ex = _sweep_executor(args)
     results = sweep_inter(
-        _PAPER_INTER_APPS, [INTER_ADDR, INTER_ADDR_L], scale=args.scale
+        _PAPER_INTER_APPS, [INTER_ADDR, INTER_ADDR_L], executor=ex,
+        scale=args.scale,
     )
     print(rpt.render_fig11(results))
+    print(ex.stats.summary(), file=sys.stderr)
     return 0
 
 
 def _cmd_fig12(args) -> int:
+    ex = _sweep_executor(args)
     results = sweep_inter(
-        _PAPER_INTER_APPS, list(INTER_CONFIGS), scale=args.scale
+        _PAPER_INTER_APPS, list(INTER_CONFIGS), executor=ex, scale=args.scale
     )
     print(rpt.render_fig12(results))
+    print(ex.stats.summary(), file=sys.stderr)
     return 0
 
 
@@ -180,6 +208,19 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"regenerate {name}")
         if needs_scale:
             p.add_argument("--scale", type=float, default=1.0)
+            p.add_argument(
+                "--jobs", type=int, default=None,
+                help="parallel sweep workers (default: CPU count; 1 = serial)",
+            )
+            p.add_argument(
+                "--no-cache", action="store_true",
+                help="always simulate; do not read or write the result cache",
+            )
+            p.add_argument(
+                "--clear-cache", action="store_true",
+                help="empty the result cache ($REPRO_CACHE_DIR or "
+                "~/.cache/repro-sweeps) before running",
+            )
         p.set_defaults(fn=fn)
 
     p_t3 = sub.add_parser("table3", help="print the architecture table")
@@ -190,11 +231,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.common.errors import ConfigError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "command", None) == "run" and args.config is None:
         args.config = "B+M+I" if args.workload in MODEL_ONE else "Addr+L"
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ConfigError as exc:
+        # Bad --jobs / --config / workload parameters: a usage error, not a
+        # crash — print the message without a traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

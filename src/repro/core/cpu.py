@@ -31,6 +31,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class CPU:
     """One core executing one thread (one-to-one mapping, no migration)."""
 
+    __slots__ = (
+        "machine", "core_id", "tid", "program", "stats",
+        "_send_value", "_sync_issue_time", "_sync_cat", "_done",
+    )
+
     def __init__(self, machine: "Machine", core_id: int, tid: int, program) -> None:
         self.machine = machine
         self.core_id = core_id
@@ -60,13 +65,21 @@ class CPU:
         engine = self.machine.engine
         proto = self.machine.protocol
         stats = self.stats
+        # Innermost simulator loop: bind the stall dict, the REST key, and
+        # the program's send method locally, and update the REST bucket
+        # in-place instead of through add_stall (protocol latencies are
+        # already ints; Compute cycles are coerced explicitly).
+        stalls = stats.stalls
+        rest = StallCat.REST
+        advance = self.program.send
+        core_id = self.core_id
         accumulated = 0
         send = self._send_value
         self._send_value = None
 
         while True:
             try:
-                op = self.program.send(send)
+                op = advance(send)
             except StopIteration:
                 if accumulated:
                     engine.schedule(accumulated, self._finish)
@@ -77,18 +90,19 @@ class CPU:
 
             kind = type(op)
             if kind is isa.Read:
-                lat, send = proto.read(self.core_id, op.addr)
+                lat, send = proto.read(core_id, op.addr)
                 stats.loads += 1
-                stats.add_stall(StallCat.REST, lat)
+                stalls[rest] += lat
                 accumulated += lat
             elif kind is isa.Write:
-                lat = proto.write(self.core_id, op.addr, op.value)
+                lat = proto.write(core_id, op.addr, op.value)
                 stats.stores += 1
-                stats.add_stall(StallCat.REST, lat)
+                stalls[rest] += lat
                 accumulated += lat
             elif kind is isa.Compute:
-                stats.add_stall(StallCat.REST, op.cycles)
-                accumulated += op.cycles
+                cycles = int(op.cycles)
+                stalls[rest] += cycles
+                accumulated += cycles
             elif isinstance(op, isa.SYNC_OPS):
                 self._issue_sync(op, accumulated)
                 return

@@ -1,0 +1,162 @@
+"""Persistent, content-addressed cache of verified sweep results.
+
+Every (application × configuration) cell of a sweep is fully determined by
+its inputs — the simulator is deterministic — so a verified
+:class:`~repro.eval.runner.RunResult` can be reused across processes and
+across sessions.  This module stores one JSON file per cell under a cache
+root, keyed by a stable SHA-256 hash of the *complete* cell identity:
+
+* cache schema version and ``repro.__version__``,
+* sweep kind (``intra`` / ``inter``), application name,
+* every field of the :class:`~repro.core.config.ExperimentConfig`,
+* the **resolved** :class:`~repro.common.params.MachineParams` (defaults are
+  expanded, so passing ``machine_params=None`` and passing the equivalent
+  explicit machine hash identically),
+* thread/block geometry (``num_threads`` or ``num_blocks`` ×
+  ``cores_per_block``), workload ``scale``, and the ``verify`` flag,
+* any extra runner keyword arguments (by repr).
+
+Changing any of those fields — or bumping the package version — invalidates
+the cached cell.  The root directory is ``$REPRO_CACHE_DIR`` when set, else
+``~/.cache/repro-sweeps``.
+
+Entries are written atomically (tmp file + rename), so concurrent sweep
+workers racing on the same cell are safe: last writer wins with identical
+bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import TYPE_CHECKING
+
+from repro import __version__
+from repro.common.params import inter_block_machine, intra_block_machine
+from repro.eval.runner import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel → cache)
+    from repro.eval.parallel import SweepCell
+
+#: Bump when the on-disk payload layout changes; invalidates old entries.
+CACHE_SCHEMA = 1
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env).expanduser()
+    return pathlib.Path.home() / ".cache" / "repro-sweeps"
+
+
+def describe_cell(cell: "SweepCell") -> dict:
+    """The complete, JSON-safe identity of one sweep cell.
+
+    This is the exact payload the cache key hashes; it is also archived in
+    each entry so users can inspect why a cell did (not) hit.
+    """
+    kwargs = dict(cell.kwargs)
+    machine = kwargs.pop("machine_params", None)
+    if cell.kind == "intra":
+        num_threads = kwargs.pop("num_threads", 16)
+        params = machine or intra_block_machine(num_threads)
+        geometry: dict = {"num_threads": num_threads}
+    elif cell.kind == "inter":
+        num_blocks = kwargs.pop("num_blocks", 4)
+        cores_per_block = kwargs.pop("cores_per_block", 8)
+        params = machine or inter_block_machine(num_blocks, cores_per_block)
+        geometry = {"num_blocks": num_blocks, "cores_per_block": cores_per_block}
+    else:
+        raise ValueError(f"unknown sweep kind {cell.kind!r}")
+    return {
+        "schema": CACHE_SCHEMA,
+        "version": __version__,
+        "kind": cell.kind,
+        "app": cell.app,
+        "config": dataclasses.asdict(cell.config),
+        "machine": dataclasses.asdict(params),
+        "geometry": geometry,
+        "scale": kwargs.pop("scale", 1.0),
+        "verify": kwargs.pop("verify", True),
+        "extra": {k: repr(v) for k, v in sorted(kwargs.items())},
+    }
+
+
+def cell_key(cell: "SweepCell") -> str:
+    """Stable SHA-256 hex key of a sweep cell's full identity."""
+    blob = json.dumps(
+        describe_cell(cell), sort_keys=True, separators=(",", ":"), default=repr
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk result store: ``<root>/<key[:2]>/<key>.json`` per cell."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, cell: "SweepCell") -> RunResult | None:
+        """Rehydrated result for *cell*, or None (corrupt entries are misses)."""
+        path = self._path(cell_key(cell))
+        try:
+            payload = json.loads(path.read_text())
+            result = RunResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, cell: "SweepCell", result: RunResult) -> pathlib.Path:
+        """Persist *result* for *cell* atomically; return the entry path."""
+        key = cell_key(cell)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "cell": describe_cell(cell),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self) -> list[pathlib.Path]:
+        """Paths of all cached cells under the root."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> int:
+        """Delete every cached entry; return how many were removed."""
+        n = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n

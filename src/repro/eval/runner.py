@@ -21,7 +21,13 @@ from repro.workloads import MODEL_ONE, MODEL_TWO
 
 @dataclass(frozen=True)
 class RunResult:
-    """Statistics of one verified (app, config) run."""
+    """Statistics of one verified (app, config) run.
+
+    Instances are plain frozen dataclasses over picklable state, so they
+    travel through process-pool workers unchanged, and ``to_dict`` /
+    ``from_dict`` give an exact JSON round trip for the on-disk result
+    cache.
+    """
 
     app: str
     config: str
@@ -33,6 +39,13 @@ class RunResult:
 
     def breakdown(self) -> dict[str, float]:
         return self.stats.breakdown()
+
+    def to_dict(self) -> dict:
+        return {"app": self.app, "config": self.config, "stats": self.stats.to_dict()}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunResult":
+        return cls(d["app"], d["config"], MachineStats.from_dict(d["stats"]))
 
 
 def run_intra(
@@ -86,25 +99,42 @@ def run_inter(
 def sweep_intra(
     apps: list[str],
     configs: list[ExperimentConfig],
+    *,
+    jobs: int | None = None,
+    executor=None,
     **kwargs,
 ) -> dict[str, dict[str, RunResult]]:
-    """{app: {config name: result}} over the intra-block matrix."""
-    return {
-        app: {cfg.name: run_intra(app, cfg, **kwargs) for cfg in configs}
-        for app in apps
-    }
+    """{app: {config name: result}} over the intra-block matrix.
+
+    Cells fan out over ``jobs`` worker processes (default: CPU count; pass
+    ``jobs=1`` to force in-process serial execution).  Pass a preconfigured
+    :class:`~repro.eval.parallel.SweepExecutor` as ``executor`` for caching,
+    timeouts, or shared hit/miss counters; remaining ``kwargs`` go to
+    :func:`run_intra` per cell.
+    """
+    from repro.eval.parallel import SweepExecutor, sweep_matrix
+
+    executor = executor or SweepExecutor(jobs=jobs)
+    return sweep_matrix("intra", apps, configs, executor, **kwargs)
 
 
 def sweep_inter(
     apps: list[str],
     configs: list[ExperimentConfig],
+    *,
+    jobs: int | None = None,
+    executor=None,
     **kwargs,
 ) -> dict[str, dict[str, RunResult]]:
-    """{app: {config name: result}} over the inter-block matrix."""
-    return {
-        app: {cfg.name: run_inter(app, cfg, **kwargs) for cfg in configs}
-        for app in apps
-    }
+    """{app: {config name: result}} over the inter-block matrix.
+
+    Same execution semantics as :func:`sweep_intra`; ``kwargs`` go to
+    :func:`run_inter` per cell.
+    """
+    from repro.eval.parallel import SweepExecutor, sweep_matrix
+
+    executor = executor or SweepExecutor(jobs=jobs)
+    return sweep_matrix("inter", apps, configs, executor, **kwargs)
 
 
 def normalized_exec(results: dict[str, RunResult], baseline: str = "HCC") -> dict[str, float]:

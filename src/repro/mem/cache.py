@@ -4,8 +4,9 @@ This models the tag/data arrays shared by every cache in the hierarchy (L1,
 L2 banks, L3 banks).  It is purely structural: coherence policy (what happens
 on a miss, when to write back) lives in :mod:`repro.coherence`.
 
-LRU is realized with Python dict insertion order: a hit pops and reinserts
-the line, eviction removes the oldest entry.
+LRU is realized with Python dict insertion order: a hit on a non-MRU line
+pops and reinserts it (a hit on the line that is already MRU is left in
+place), eviction removes the oldest entry.
 """
 
 from __future__ import annotations
@@ -19,17 +20,22 @@ from repro.mem.line import CacheLine
 class Cache:
     """One cache (or one bank of a banked cache)."""
 
+    __slots__ = ("params", "name", "_sets", "_set_mask")
+
     def __init__(self, params: CacheParams, name: str = "cache") -> None:
         self.params = params
         self.name = name
         self._sets: list[dict[int, CacheLine]] = [
             {} for _ in range(params.num_sets)
         ]
+        # CacheParams guarantees num_sets is a power of two, so set indexing
+        # is a mask rather than a modulo (hot path: every lookup/insert).
+        self._set_mask = params.num_sets - 1
 
     # -- geometry -----------------------------------------------------------
 
     def set_index(self, line_addr: int) -> int:
-        return line_addr % self.params.num_sets
+        return line_addr & self._set_mask
 
     def line_id(self, line_addr: int) -> int:
         """Position of a resident line in the tag array: set*assoc + way.
@@ -47,9 +53,9 @@ class Cache:
 
     def lookup(self, line_addr: int, *, touch: bool = True) -> CacheLine | None:
         """Return the resident line or None.  ``touch`` updates LRU order."""
-        s = self._sets[self.set_index(line_addr)]
+        s = self._sets[line_addr & self._set_mask]
         line = s.get(line_addr)
-        if line is not None and touch:
+        if line is not None and touch and next(reversed(s)) != line_addr:
             del s[line_addr]
             s[line_addr] = line
         return line
@@ -60,7 +66,7 @@ class Cache:
         The caller owns victim handling (dirty victims must be written back
         by the coherence policy before their state is dropped).
         """
-        s = self._sets[self.set_index(line.line_addr)]
+        s = self._sets[line.line_addr & self._set_mask]
         victim: CacheLine | None = None
         if line.line_addr in s:
             del s[line.line_addr]
@@ -72,7 +78,7 @@ class Cache:
 
     def remove(self, line_addr: int) -> CacheLine | None:
         """Invalidate (drop) a line; return it if it was resident."""
-        s = self._sets[self.set_index(line_addr)]
+        s = self._sets[line_addr & self._set_mask]
         return s.pop(line_addr, None)
 
     # -- traversal ----------------------------------------------------------

@@ -21,6 +21,8 @@ from repro.common.errors import DeadlockError, SimulationError
 class Engine:
     """Time-ordered callback executor with deadlock detection."""
 
+    __slots__ = ("_now", "_seq", "_queue", "_live_entities")
+
     def __init__(self) -> None:
         self._now: int = 0
         self._seq: int = 0
@@ -48,11 +50,18 @@ class Engine:
         return self._live_entities
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
-        """Run *callback* at ``now + delay`` (delay in cycles, >= 0)."""
+        """Run *callback* at ``now + delay`` (delay in cycles, >= 0).
+
+        *delay* is coerced with ``int()`` **before** the negativity check, so
+        float delays (e.g. ``1.5`` from scaled latencies) truncate toward
+        zero consistently — ``-0.5`` becomes a legal delay of 0 rather than
+        raising — while non-numeric delays fail loudly with ``TypeError``.
+        """
+        delay = int(delay)
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + int(delay), self._seq, callback))
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
 
     def run(self, max_cycles: int | None = None) -> int:
         """Drain the event queue; return the finishing time in cycles.
@@ -63,15 +72,26 @@ class Engine:
         simulated program deadlocked (e.g. a barrier some thread never
         reaches).
         """
-        while self._queue:
-            time, _, callback = heapq.heappop(self._queue)
-            if max_cycles is not None and time > max_cycles:
-                raise SimulationError(
-                    f"simulation exceeded max_cycles={max_cycles} "
-                    f"(next event at {time})"
-                )
-            self._now = time
-            callback()
+        # The pop loop is the simulator's innermost loop: bind the queue and
+        # heappop locally and skip the max_cycles comparison entirely in the
+        # (default) unbounded case.
+        queue = self._queue
+        heappop = heapq.heappop
+        if max_cycles is None:
+            while queue:
+                time, _, callback = heappop(queue)
+                self._now = time
+                callback()
+        else:
+            while queue:
+                time, _, callback = heappop(queue)
+                if time > max_cycles:
+                    raise SimulationError(
+                        f"simulation exceeded max_cycles={max_cycles} "
+                        f"(next event at {time})"
+                    )
+                self._now = time
+                callback()
         if self._live_entities > 0:
             raise DeadlockError(
                 f"{self._live_entities} entities still blocked with no pending "

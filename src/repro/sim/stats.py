@@ -10,7 +10,7 @@ the tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from enum import Enum
 
 
@@ -63,6 +63,21 @@ class CoreStats:
     @property
     def total_cycles(self) -> int:
         return sum(self.stalls.values())
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (enum keys flattened to their string values)."""
+        d: dict = {"stalls": {c.value: n for c, n in self.stalls.items()}}
+        for f in fields(self):
+            if f.name != "stalls":
+                d[f.name] = getattr(self, f.name)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CoreStats":
+        scalars = {k: v for k, v in d.items() if k != "stalls"}
+        cs = cls(**scalars)
+        cs.stalls = {StallCat(k): int(v) for k, v in d["stalls"].items()}
+        return cs
 
 
 @dataclass
@@ -117,6 +132,28 @@ class MachineStats:
             return {c.value: 0.0 for c in StallCat}
         scale = self.exec_time / busy if self.exec_time > 0 else 1.0
         return {c.value: mean[c] * scale for c in StallCat}
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; inverse of :meth:`from_dict`.
+
+        Needed by the process-pool sweep executor and the persistent result
+        cache: a round trip must preserve every counter bit-for-bit.
+        """
+        d: dict = {
+            "per_core": [c.to_dict() for c in self.per_core],
+            "traffic": {c.value: n for c, n in self.traffic.items()},
+        }
+        for f in fields(self):
+            if f.name not in ("per_core", "traffic"):
+                d[f.name] = getattr(self, f.name)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MachineStats":
+        scalars = {k: v for k, v in d.items() if k not in ("per_core", "traffic")}
+        ms = cls(per_core=[CoreStats.from_dict(c) for c in d["per_core"]], **scalars)
+        ms.traffic = {TrafficCat(k): int(v) for k, v in d["traffic"].items()}
+        return ms
 
     def summary(self) -> dict[str, int]:
         """Flat counter summary used by tests and reports."""

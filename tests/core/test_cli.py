@@ -59,6 +59,14 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
+def test_invalid_jobs_is_a_usage_error(capsys):
+    """Bad --jobs exits 2 with a one-line message, not a traceback."""
+    assert main(["fig11", "--scale", "0.25", "--jobs", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "repro: error: jobs must be >= 1 (got 0)" in err
+    assert "Traceback" not in err
+
+
 def test_run_staleness_mode(capsys):
     assert main(["run", "volrend", "--scale", "0.4", "--staleness"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Tests for the benchmark harness helpers (benchmarks/common.py)."""
+
+import importlib.util
+import pathlib
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def load_common():
+    spec = importlib.util.spec_from_file_location(
+        "bench_common_under_test", BENCH_DIR / "common.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_save_result_creates_nested_results_dir(tmp_path, monkeypatch):
+    """Regression: RESULTS_DIR must be created with parents=True."""
+    common = load_common()
+    nested = tmp_path / "deeply" / "nested" / "results"
+    monkeypatch.setattr(common, "RESULTS_DIR", nested)
+    common.save_result("probe", "row1\nrow2", elapsed=1.25)
+    text = (nested / "probe.txt").read_text()
+    assert "row1" in text
+
+
+def test_save_result_records_wall_clock(tmp_path, monkeypatch):
+    common = load_common()
+    monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+    common.save_result("timed", "table", elapsed=2.5)
+    text = (tmp_path / "timed.txt").read_text()
+    assert "table" in text
+    assert "[wall-clock: 2.500 s]" in text
+
+
+def test_save_result_picks_up_last_run_once_elapsed(tmp_path, monkeypatch):
+    common = load_common()
+    monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+
+    class FakeBenchmark:
+        @staticmethod
+        def pedantic(fn, rounds, iterations, warmup_rounds):
+            return fn()
+
+    out = common.run_once(FakeBenchmark, lambda: "rendered")
+    assert out == "rendered"
+    assert common.LAST_RUN_SECONDS is not None
+    common.save_result("auto", out)
+    assert "[wall-clock:" in (tmp_path / "auto.txt").read_text()
+
+
+def test_save_result_without_elapsed_omits_footer(tmp_path, monkeypatch):
+    common = load_common()
+    monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+    assert common.LAST_RUN_SECONDS is None  # fresh module load
+    common.save_result("bare", "table")
+    assert "[wall-clock" not in (tmp_path / "bare.txt").read_text()

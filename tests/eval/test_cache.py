@@ -1,0 +1,105 @@
+"""Tests for the persistent sweep-result cache."""
+
+import json
+
+from repro.common.params import intra_block_machine
+from repro.core.config import INTRA_BMI, INTRA_HCC
+from repro.eval.cache import (
+    ResultCache,
+    cell_key,
+    default_cache_dir,
+    describe_cell,
+)
+from repro.eval.parallel import SweepCell, _run_cell
+
+SMALL = dict(num_threads=4, scale=0.5, machine_params=intra_block_machine(4))
+
+
+def cell(app="volrend", config=INTRA_BMI, **overrides):
+    kw = {**SMALL, **overrides}
+    return SweepCell.make("intra", app, config, **kw)
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        assert cell_key(cell()) == cell_key(cell())
+
+    def test_key_ignores_kwarg_order(self):
+        a = SweepCell.make("intra", "volrend", INTRA_BMI, scale=0.5, num_threads=4)
+        b = SweepCell.make("intra", "volrend", INTRA_BMI, num_threads=4, scale=0.5)
+        assert cell_key(a) == cell_key(b)
+
+    def test_key_varies_with_every_identity_field(self):
+        base = cell_key(cell())
+        assert cell_key(cell(app="raytrace")) != base
+        assert cell_key(cell(config=INTRA_HCC)) != base
+        assert cell_key(cell(scale=0.25)) != base
+        assert cell_key(cell(verify=False)) != base
+        assert (
+            cell_key(cell(machine_params=intra_block_machine(4, overlap=0.9)))
+            != base
+        )
+
+    def test_default_machine_hashes_like_explicit(self):
+        implicit = SweepCell.make("intra", "volrend", INTRA_BMI, num_threads=4)
+        explicit = SweepCell.make(
+            "intra", "volrend", INTRA_BMI, num_threads=4,
+            machine_params=intra_block_machine(4),
+        )
+        assert cell_key(implicit) == cell_key(explicit)
+
+    def test_describe_cell_names_the_invalidating_fields(self):
+        d = describe_cell(cell())
+        for field in ("schema", "version", "kind", "app", "config", "machine",
+                      "geometry", "scale", "verify"):
+            assert field in d
+
+
+class TestResultCache:
+    def test_miss_then_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        c = cell()
+        assert cache.get(c) is None
+        result = _run_cell(c)
+        path = cache.put(c, result)
+        assert path.is_file()
+        back = cache.get(c)
+        assert back is not None
+        assert back.exec_time == result.exec_time
+        assert back.breakdown() == result.breakdown()
+        assert back.stats.summary() == result.stats.summary()
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = _run_cell(cell())
+        cache.put(cell(), result)
+        cache.put(cell(app="raytrace"), _run_cell(cell(app="raytrace")))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0 and cache.get(cell()) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        c = cell()
+        path = cache.put(c, _run_cell(c))
+        path.write_text("{not json")
+        assert cache.get(c) is None
+
+    def test_entry_payload_is_inspectable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        c = cell()
+        path = cache.put(c, _run_cell(c))
+        payload = json.loads(path.read_text())
+        assert payload["cell"]["app"] == "volrend"
+        assert payload["cell"]["geometry"] == {"num_threads": 4}
+        assert payload["key"] == cell_key(c)
+
+    def test_env_var_overrides_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+        assert ResultCache().root == tmp_path / "elsewhere"
+
+    def test_default_root_under_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "repro-sweeps"

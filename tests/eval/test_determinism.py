@@ -1,0 +1,65 @@
+"""Cross-mode determinism: in-process, subprocess worker, and cache rehydration.
+
+A seeded (app, config) cell must yield the identical ``exec_time`` and stall
+breakdown no matter how it was executed: twice in this process, once inside
+a process-pool worker, and once rehydrated from the persistent cache.  This
+is what licenses the parallel executor and the cache to substitute for a
+serial run.
+"""
+
+import pytest
+
+from repro.common.params import intra_block_machine
+from repro.core.config import INTRA_BMI
+from repro.eval.cache import ResultCache
+from repro.eval.parallel import SweepCell, SweepExecutor, _run_cell
+
+CELL_KW = dict(num_threads=4, scale=0.5, machine_params=intra_block_machine(4))
+
+
+def fingerprint(result):
+    """Everything Figure 9 plots for one cell, plus the raw counters."""
+    return (
+        result.app,
+        result.config,
+        result.exec_time,
+        tuple(sorted(result.breakdown().items())),
+        tuple(sorted(result.stats.summary().items())),
+        tuple(
+            tuple(sorted((c.value, n) for c, n in core.stalls.items()))
+            for core in result.stats.per_core
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return SweepCell.make("intra", "volrend", INTRA_BMI, **CELL_KW)
+
+
+@pytest.fixture(scope="module")
+def reference(cell):
+    return _run_cell(cell)
+
+
+def test_repeated_in_process_runs_identical(cell, reference):
+    again = _run_cell(cell)
+    assert fingerprint(again) == fingerprint(reference)
+
+
+def test_subprocess_worker_identical(cell, reference):
+    # Two distinct cells force SweepExecutor into its process-pool path.
+    sibling = SweepCell.make("intra", "raytrace", INTRA_BMI, **CELL_KW)
+    ex = SweepExecutor(jobs=2)
+    pooled, _ = ex.run_cells([cell, sibling])
+    assert ex.stats.simulated == 2
+    assert fingerprint(pooled) == fingerprint(reference)
+
+
+def test_cache_rehydration_identical(cell, reference, tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(cell, reference)
+    ex = SweepExecutor(jobs=1, cache=cache)
+    (rehydrated,) = ex.run_cells([cell])
+    assert ex.stats.cache_hits == 1 and ex.stats.simulated == 0
+    assert fingerprint(rehydrated) == fingerprint(reference)

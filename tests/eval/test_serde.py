@@ -1,0 +1,77 @@
+"""RunResult / MachineStats serialization: pickle and dict round trips.
+
+Both the process-pool sweep executor and the disk cache depend on these
+round trips preserving every statistic bit-for-bit.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.common.params import intra_block_machine
+from repro.core.config import INTRA_BMI
+from repro.eval.runner import RunResult, run_intra
+from repro.sim.stats import CoreStats, MachineStats, StallCat, TrafficCat
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_intra(
+        "volrend", INTRA_BMI, num_threads=4, scale=0.5,
+        machine_params=intra_block_machine(4),
+    )
+
+
+def assert_stats_equal(a: MachineStats, b: MachineStats):
+    assert a.summary() == b.summary()
+    assert a.breakdown() == b.breakdown()
+    assert a.traffic == b.traffic
+    assert len(a.per_core) == len(b.per_core)
+    for ca, cb in zip(a.per_core, b.per_core):
+        assert ca == cb
+
+
+class TestPickle:
+    def test_runresult_pickle_roundtrip(self, result):
+        back = pickle.loads(pickle.dumps(result))
+        assert back.app == result.app and back.config == result.config
+        assert back.exec_time == result.exec_time
+        assert_stats_equal(back.stats, result.stats)
+
+    def test_pickled_enum_keys_are_same_members(self, result):
+        back = pickle.loads(pickle.dumps(result))
+        assert set(back.stats.traffic) == set(TrafficCat)
+        assert set(back.stats.per_core[0].stalls) == set(StallCat)
+
+
+class TestDictRoundtrip:
+    def test_runresult_dict_roundtrip(self, result):
+        d = result.to_dict()
+        json.dumps(d)  # must be JSON-safe as-is
+        back = RunResult.from_dict(json.loads(json.dumps(d)))
+        assert back.app == result.app and back.config == result.config
+        assert back.exec_time == result.exec_time
+        assert_stats_equal(back.stats, result.stats)
+
+    def test_corestats_roundtrip_preserves_enum_keys(self):
+        cs = CoreStats()
+        cs.add_stall(StallCat.LOCK, 7)
+        cs.loads = 3
+        cs.finish_time = 99
+        back = CoreStats.from_dict(json.loads(json.dumps(cs.to_dict())))
+        assert back == cs
+        assert back.stalls[StallCat.LOCK] == 7
+
+    def test_machinestats_roundtrip_scalars_and_traffic(self):
+        ms = MachineStats.for_cores(2)
+        ms.exec_time = 1234
+        ms.global_wb_lines = 5
+        ms.frozen = True
+        ms.traffic[TrafficCat.LINEFILL] = 17
+        back = MachineStats.from_dict(json.loads(json.dumps(ms.to_dict())))
+        assert back.exec_time == 1234
+        assert back.global_wb_lines == 5
+        assert back.frozen is True
+        assert back.traffic[TrafficCat.LINEFILL] == 17
+        assert_stats_equal(back, ms)

@@ -65,6 +65,30 @@ class TestLRU:
         victim = c.insert(line(4))  # same set as 0
         assert victim.line_addr == 0
 
+    def test_mru_hit_keeps_lru_order_correct(self):
+        """The MRU fast path (no pop/reinsert) must not disturb LRU."""
+        c = tiny_cache(assoc=2, sets=1)
+        c.insert(line(0))
+        c.insert(line(1))  # 1 is MRU
+        c.lookup(1)  # MRU hit: short-circuits, order unchanged
+        victim = c.insert(line(2))
+        assert victim.line_addr == 0
+
+    def test_repeated_mru_hits_then_promotion(self):
+        c = tiny_cache(assoc=2, sets=1)
+        c.insert(line(0))
+        c.insert(line(1))
+        for _ in range(3):
+            c.lookup(1)  # stays MRU
+        c.lookup(0)  # promotes 0 to MRU
+        victim = c.insert(line(2))
+        assert victim.line_addr == 1
+
+    def test_mask_index_matches_modulo(self):
+        c = tiny_cache(assoc=2, sets=8)
+        for addr in (0, 1, 7, 8, 9, 63, 64, 1023):
+            assert c.set_index(addr) == addr % c.params.num_sets
+
 
 class TestRemoveAndTraverse:
     def test_remove_returns_line(self):

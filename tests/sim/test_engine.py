@@ -44,6 +44,34 @@ def test_negative_delay_rejected():
         eng.schedule(-1, lambda: None)
 
 
+def test_float_delay_truncates_consistently():
+    """Regression: delay is coerced with int() *before* the negativity check.
+
+    Scaled latencies can produce float delays like 1.5; they must truncate
+    toward zero, and a fractional negative like -0.5 becomes a legal delay
+    of 0 instead of raising.
+    """
+    eng = Engine()
+    times = []
+    eng.schedule(1.5, lambda: times.append(eng.now))
+    assert eng.run() == 1
+    assert times == [1]
+
+    eng2 = Engine()
+    eng2.schedule(-0.5, lambda: times.append(eng2.now))  # int(-0.5) == 0
+    assert eng2.run() == 0
+    with pytest.raises(SimulationError):
+        eng2.schedule(-1.0, lambda: None)  # int(-1.0) == -1 still rejected
+
+
+def test_non_numeric_delay_fails_loudly():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.schedule("soon", lambda: None)
+    with pytest.raises(TypeError):
+        eng.schedule(None, lambda: None)
+
+
 def test_deadlock_detection():
     eng = Engine()
     eng.register_entity()  # never finishes, no events
