@@ -7,11 +7,18 @@ Usage (also via ``python -m repro``)::
     repro run cg --config Addr+L --scale .5 # one inter-block run
     repro fig9 [--scale S] [--jobs N]       # regenerate a figure/table
     repro fig10 | fig11 | fig12 | table1 | table3 | storage
+    repro trace fft --config B+M+I --out t.jsonl   # traced replay of a cell
 
 Figure sweeps fan out over ``--jobs`` worker processes (default: CPU count)
 and reuse verified results from the persistent cache under
 ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-sweeps``); ``--no-cache``
 forces fresh simulation and ``--clear-cache`` empties the cache first.
+
+Observability: ``--trace DIR`` / ``--metrics PATH`` on the figure commands
+replay the sweep serially in-process with per-operation event tracing and a
+metrics registry attached (tracing is bit-identical-neutral, so the printed
+table does not change); ``repro trace`` does the same for a single cell and
+can also emit a Chrome ``trace_event`` file for chrome://tracing.
 
 Every ``run`` is functionally verified before its statistics print, exactly
 like the test suite.
@@ -108,48 +115,97 @@ def _sweep_executor(args):
     return SweepExecutor(jobs=args.jobs, cache=cache)
 
 
-def _cmd_fig9(args) -> int:
+def _figure_sweep(args, kind: str, apps, configs):
+    """Run one figure's sweep matrix, traced or pooled per the flags.
+
+    With ``--trace``/``--metrics`` the matrix is replayed serially
+    in-process (tracers do not cross process boundaries); otherwise it fans
+    out through the worker pool and the persistent cache.  Tracing is
+    bit-identical-neutral, so both paths feed the renderer the same numbers.
+    """
+    if args.trace is not None or args.metrics is not None:
+        from repro.obs.replay import traced_sweep
+
+        results = traced_sweep(
+            kind, apps, configs,
+            trace_dir=args.trace, metrics_path=args.metrics, scale=args.scale,
+        )
+        if args.trace is not None:
+            print(f"traces written under {args.trace}", file=sys.stderr)
+        if args.metrics is not None:
+            print(f"metrics written to {args.metrics}", file=sys.stderr)
+        return results
     ex = _sweep_executor(args)
-    results = sweep_intra(
-        sorted(MODEL_ONE), list(INTRA_CONFIGS), executor=ex, scale=args.scale
-    )
-    print(rpt.render_fig9(results))
+    sweep = sweep_intra if kind == "intra" else sweep_inter
+    results = sweep(list(apps), list(configs), executor=ex, scale=args.scale)
     print(ex.stats.summary(), file=sys.stderr)
+    return results
+
+
+def _cmd_fig9(args) -> int:
+    results = _figure_sweep(args, "intra", sorted(MODEL_ONE), INTRA_CONFIGS)
+    print(rpt.render_fig9(results))
     return 0
 
 
 def _cmd_fig10(args) -> int:
     from repro.core.config import INTRA_BMI, INTRA_HCC
 
-    ex = _sweep_executor(args)
-    results = sweep_intra(
-        sorted(MODEL_ONE), [INTRA_HCC, INTRA_BMI], executor=ex, scale=args.scale
-    )
+    results = _figure_sweep(args, "intra", sorted(MODEL_ONE), [INTRA_HCC, INTRA_BMI])
     print(rpt.render_fig10(results))
-    print(ex.stats.summary(), file=sys.stderr)
     return 0
 
 
 def _cmd_fig11(args) -> int:
     from repro.core.config import INTER_ADDR, INTER_ADDR_L
 
-    ex = _sweep_executor(args)
-    results = sweep_inter(
-        _PAPER_INTER_APPS, [INTER_ADDR, INTER_ADDR_L], executor=ex,
-        scale=args.scale,
+    results = _figure_sweep(
+        args, "inter", _PAPER_INTER_APPS, [INTER_ADDR, INTER_ADDR_L]
     )
     print(rpt.render_fig11(results))
-    print(ex.stats.summary(), file=sys.stderr)
     return 0
 
 
 def _cmd_fig12(args) -> int:
-    ex = _sweep_executor(args)
-    results = sweep_inter(
-        _PAPER_INTER_APPS, list(INTER_CONFIGS), executor=ex, scale=args.scale
-    )
+    results = _figure_sweep(args, "inter", _PAPER_INTER_APPS, INTER_CONFIGS)
     print(rpt.render_fig12(results))
-    print(ex.stats.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Replay one (workload, config) cell with tracing and metrics on."""
+    import json
+    import pathlib
+
+    from repro.obs.replay import cell_trace_name, kind_of_app, run_traced
+
+    kind = kind_of_app(args.workload)
+    if args.config is None:
+        args.config = "B+M+I" if kind == "intra" else "Addr+L"
+    config = (
+        intra_config(args.config) if kind == "intra" else inter_config(args.config)
+    )
+    result, tracer, metrics = run_traced(
+        kind, args.workload, config, scale=args.scale
+    )
+    out = pathlib.Path(args.out or cell_trace_name(args.workload, config.name))
+    tracer.write_jsonl(out)
+    print(f"{args.workload} under {config.name}: verified OK, "
+          f"{len(tracer.events)} events -> {out}")
+    if args.chrome is not None:
+        tracer.write_chrome(args.chrome)
+        print(f"chrome trace -> {args.chrome}  "
+              "(open chrome://tracing and load it)")
+    if args.metrics is not None:
+        pathlib.Path(args.metrics).write_text(
+            json.dumps(metrics.snapshot(), indent=1, sort_keys=True)
+        )
+        print(f"metrics -> {args.metrics}")
+    print(f"  exec time     {result.exec_time} cycles")
+    for name in ("proto.lines_written_back", "proto.lines_invalidated",
+                 "proto.stale_reads", "mesi.dir_invalidations"):
+        if name in metrics.counters:
+            print(f"  {name:26s}{metrics.counters[name]:10d}")
     return 0
 
 
@@ -221,7 +277,32 @@ def build_parser() -> argparse.ArgumentParser:
                 help="empty the result cache ($REPRO_CACHE_DIR or "
                 "~/.cache/repro-sweeps) before running",
             )
+            p.add_argument(
+                "--trace", metavar="DIR", default=None,
+                help="replay the sweep serially with event tracing on; "
+                "write one JSONL trace per cell under DIR",
+            )
+            p.add_argument(
+                "--metrics", metavar="PATH", default=None,
+                help="replay the sweep serially with a metrics registry "
+                "attached; write {app: {config: snapshot}} JSON to PATH",
+            )
         p.set_defaults(fn=fn)
+
+    p_tr = sub.add_parser(
+        "trace", help="replay one (workload, config) cell with tracing on"
+    )
+    p_tr.add_argument("workload")
+    p_tr.add_argument("--config", default=None,
+                      help="Table II name (default: B+M+I or Addr+L)")
+    p_tr.add_argument("--scale", type=float, default=1.0)
+    p_tr.add_argument("--out", metavar="PATH", default=None,
+                      help="JSONL trace path (default: <app>-<cfg>.trace.jsonl)")
+    p_tr.add_argument("--chrome", metavar="PATH", default=None,
+                      help="also write a Chrome trace_event JSON file")
+    p_tr.add_argument("--metrics", metavar="PATH", default=None,
+                      help="also write the metrics snapshot as JSON")
+    p_tr.set_defaults(fn=_cmd_trace)
 
     p_t3 = sub.add_parser("table3", help="print the architecture table")
     p_t3.add_argument("--machine", choices=("intra", "inter"), default="inter")

@@ -28,6 +28,11 @@ class Protocol(ABC):
         self.hier = hierarchy
         self.stats = hierarchy.stats
         self.machine = hierarchy.machine
+        #: Observability sinks (:mod:`repro.obs`), attached by the Machine
+        #: when requested.  ``None`` means disabled: every hook point in a
+        #: protocol is one ``is not None`` check, nothing more.
+        self.tracer = None
+        self.metrics = None
 
     # -- plain accesses -------------------------------------------------------
 

@@ -49,10 +49,16 @@ class StaleRead:
         self.got = got
         self.latest = latest
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:
         return (
             f"StaleRead(core={self.core}, addr={self.byte_addr:#x}, "
             f"got={self.got!r}, latest={self.latest!r})"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"core {self.core} read stale value {self.got!r} at address "
+            f"{self.byte_addr:#x} (latest value is {self.latest!r})"
         )
 
 
@@ -93,6 +99,19 @@ class IncoherentProtocol(Protocol):
             latest = self.hier.memory.read_word(word_addr)
         if value != latest:
             self.stale_reads.append(StaleRead(core, byte_addr, value, latest))
+            if self.metrics is not None:
+                self.metrics.inc("proto.stale_reads")
+
+    def _obs_line_event(self, kind: str, core: int, line_addr: int, level: str) -> None:
+        """Report one fill/evict to the attached observability sinks.
+
+        Call sites guard on ``tracer``/``metrics`` being attached, so the
+        disabled path never reaches this method.
+        """
+        if self.tracer is not None:
+            self.tracer.emit(kind, core, line=line_addr, level=level)
+        if self.metrics is not None:
+            self.metrics.inc(f"proto.{kind}.{level}")
 
     # ------------------------------------------------------------------
     # internal: fills and writebacks
@@ -111,7 +130,11 @@ class IncoherentProtocol(Protocol):
         if victim is not None and victim.dirty:
             hier.mem_write_back(victim)
             hier.count_partial_transfer(TrafficCat.MEMORY, victim.num_dirty_words())
+            if self.tracer is not None or self.metrics is not None:
+                self._obs_line_event("evict", core, victim.line_addr, "L3")
         hier.count_line_transfer(TrafficCat.MEMORY)
+        if self.tracer is not None or self.metrics is not None:
+            self._obs_line_event("fill", core, line_addr, "L3")
         return hier.mem_latency(core), line
 
     def _fill_l2(self, core: int, line_addr: int) -> tuple[int, CacheLine]:
@@ -135,12 +158,16 @@ class IncoherentProtocol(Protocol):
         victim = bank.insert(line)
         if victim is not None and victim.dirty:
             self._spill_l2_victim(core, victim)
+        if self.tracer is not None or self.metrics is not None:
+            self._obs_line_event("fill", core, line_addr, "L2")
         return lat, line
 
     def _spill_l2_victim(self, core: int, victim: CacheLine) -> None:
         """Off-critical-path writeback of a dirty L2 victim to L3 or memory."""
         hier = self.hier
         nwords = victim.num_dirty_words()
+        if self.tracer is not None or self.metrics is not None:
+            self._obs_line_event("evict", core, victim.line_addr, "L2")
         if hier.has_l3:
             bank = hier.l3_bank_of(victim.line_addr)
             l3_line = bank.lookup(victim.line_addr)
@@ -188,7 +215,11 @@ class IncoherentProtocol(Protocol):
         victim = l1.insert(line)
         if victim is not None and victim.dirty:
             self._wb_l1_line(core, victim, critical=False)
+            if self.tracer is not None or self.metrics is not None:
+                self._obs_line_event("evict", core, victim.line_addr, "L1")
         hier.count_line_transfer(TrafficCat.LINEFILL)
+        if self.tracer is not None or self.metrics is not None:
+            self._obs_line_event("fill", core, line_addr, "L1")
         return lat, line
 
     def _wb_l1_line(
@@ -348,6 +379,8 @@ class IncoherentProtocol(Protocol):
         if count == 0:
             return 0
         stats.lines_written_back += count
+        if self.metrics is not None:
+            self.metrics.inc("proto.lines_written_back", count)
         base = (
             self._global_level_latency(core, sample_line)
             if to_l3
@@ -466,6 +499,8 @@ class IncoherentProtocol(Protocol):
             l1.remove(la)
             count += 1
         stats.lines_invalidated += count
+        if self.metrics is not None and count:
+            self.metrics.inc("proto.lines_invalidated", count)
         lat = max(1, count)  # one tag access per invalidated line
         if flits:
             lat += hier.l2_latency(core, next(iter(line_addrs), 0)) + flits - 1

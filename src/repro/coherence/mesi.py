@@ -97,6 +97,10 @@ class MESIProtocol(Protocol):
         hier.count_control(TrafficCat.INVALIDATION)  # fetch request to owner
         hier.count_line_transfer(TrafficCat.WRITEBACK)  # data back to L2
         self.stats.dir_forwards += 1
+        if self.metrics is not None:
+            self.metrics.inc("mesi.dir_forwards")
+        if self.tracer is not None:
+            self.tracer.emit("wb", owner, line=line_addr, level="L1", op="DIR_FWD")
         entry.owner = None
         # Cache-to-cache forward: request to the owner, data straight to the
         # requester (one-way legs, not a full round trip per leg).
@@ -121,6 +125,10 @@ class MESIProtocol(Protocol):
         if entry.owner == core:
             entry.owner = None
         self.stats.dir_invalidations += 1
+        if self.metrics is not None:
+            self.metrics.inc("mesi.dir_invalidations")
+        if self.tracer is not None:
+            self.tracer.emit("inv", core, line=line_addr, level="L1", op="DIR_INV")
 
     def _invalidate_block_sharers(
         self, block: int, line_addr: int, *, keep: int | None
@@ -327,6 +335,8 @@ class MESIProtocol(Protocol):
         if victim is not None:
             self._l1_victim(core, block, victim)
         hier.count_line_transfer(TrafficCat.LINEFILL)
+        if self.tracer is not None or self.metrics is not None:
+            self._obs_fill(core, line_addr)
         return lat, new_line.data[word]
 
     def write(self, core: int, byte_addr: int, value: Any) -> int:
@@ -383,6 +393,8 @@ class MESIProtocol(Protocol):
         if hier.has_l3:
             self._dir3(line_addr).owner_block = block
         hier.count_line_transfer(TrafficCat.LINEFILL)
+        if self.tracer is not None or self.metrics is not None:
+            self._obs_fill(core, line_addr)
         return self._overlapped(lat)
 
     def _demote_exclusive_peers(self, core: int, block: int, line_addr: int) -> None:
@@ -448,6 +460,13 @@ class MESIProtocol(Protocol):
         """ILP / write-buffer latency hiding for L1 hits and stores."""
         overlap = self.machine.core.overlap
         return max(1, round(latency * (1.0 - overlap)))
+
+    def _obs_fill(self, core: int, line_addr: int) -> None:
+        """Report one L1 fill to the attached observability sinks."""
+        if self.tracer is not None:
+            self.tracer.emit("fill", core, line=line_addr, level="L1")
+        if self.metrics is not None:
+            self.metrics.inc("proto.fill.L1")
 
     # ------------------------------------------------------------------
     # WB/INV flavors: free no-ops under hardware coherence

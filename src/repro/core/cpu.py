@@ -33,7 +33,7 @@ class CPU:
 
     __slots__ = (
         "machine", "core_id", "tid", "program", "stats",
-        "_send_value", "_sync_issue_time", "_sync_cat", "_done",
+        "_send_value", "_sync_issue_time", "_sync_cat", "_sync_mnem", "_done",
     )
 
     def __init__(self, machine: "Machine", core_id: int, tid: int, program) -> None:
@@ -45,6 +45,7 @@ class CPU:
         self._send_value: Any = None
         self._sync_issue_time: int = 0
         self._sync_cat: StallCat = StallCat.REST
+        self._sync_mnem: str = ""
         self._done = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -76,6 +77,11 @@ class CPU:
         accumulated = 0
         send = self._send_value
         self._send_value = None
+        # Observability sinks: None when disabled, leaving a single
+        # ``observing`` branch per operation on the hot path.
+        tracer = self.machine.tracer
+        metrics = self.machine.metrics
+        observing = tracer is not None or metrics is not None
 
         while True:
             try:
@@ -90,15 +96,23 @@ class CPU:
 
             kind = type(op)
             if kind is isa.Read:
+                if observing and tracer is not None:
+                    tracer.cycle = engine.now + accumulated
                 lat, send = proto.read(core_id, op.addr)
                 stats.loads += 1
                 stalls[rest] += lat
                 accumulated += lat
+                if observing:
+                    self._obs_access("read", tracer, metrics, op.addr, lat)
             elif kind is isa.Write:
+                if observing and tracer is not None:
+                    tracer.cycle = engine.now + accumulated
                 lat = proto.write(core_id, op.addr, op.value)
                 stats.stores += 1
                 stalls[rest] += lat
                 accumulated += lat
+                if observing:
+                    self._obs_access("write", tracer, metrics, op.addr, lat)
             elif kind is isa.Compute:
                 cycles = int(op.cycles)
                 stalls[rest] += cycles
@@ -107,9 +121,56 @@ class CPU:
                 self._issue_sync(op, accumulated)
                 return
             else:
+                if observing and tracer is not None:
+                    tracer.cycle = engine.now + accumulated
                 lat, cat = self._wbinv(proto, op)
                 stats.add_stall(cat, lat)
                 accumulated += lat
+                if observing:
+                    self._obs_wbinv(tracer, metrics, op, lat)
+
+    # -- observability ---------------------------------------------------------
+    #
+    # These helpers only run when a tracer or metrics registry is attached
+    # (the hot loop guards on a single ``observing`` flag otherwise).  The
+    # tracer's current-op cycle is published before each dispatch so that
+    # protocol-internal events (fills, evictions) share the op's timestamp.
+
+    def _obs_access(self, kind: str, tracer, metrics, addr: int, lat: int) -> None:
+        """Report one load/store to the attached observability sinks."""
+        if tracer is not None:
+            tracer.emit(
+                kind,
+                self.core_id,
+                addr=addr,
+                line=self.machine.hier.line_of(addr),
+                lat=lat,
+            )
+        if metrics is not None:
+            metrics.observe(f"lat.{kind}", lat)
+
+    def _obs_wbinv(self, tracer, metrics, op: isa.Op, lat: int) -> None:
+        """Report one WB/INV/epoch instruction to the observability sinks."""
+        if isinstance(op, isa.WB_OPS):
+            kind = "wb"
+        elif isinstance(op, isa.INV_OPS):
+            kind = "inv"
+        else:
+            kind = "epoch"
+        addr = getattr(op, "addr", None)
+        if tracer is not None:
+            tracer.emit(
+                kind,
+                self.core_id,
+                addr=addr,
+                line=self.machine.hier.line_of(addr) if addr is not None else None,
+                lat=lat,
+                op=op.mnemonic,
+            )
+        if metrics is not None:
+            metrics.inc(f"cpu.{kind}.{op.mnemonic}")
+            if kind != "epoch":
+                metrics.observe(f"lat.{kind}", lat)
 
     def _wbinv(self, proto, op: isa.Op) -> tuple[int, StallCat]:
         """Dispatch a WB/INV/epoch op; return (latency, stall category)."""
@@ -163,6 +224,7 @@ class CPU:
     def _issue_sync(self, op: isa.Op, accumulated: int) -> None:
         """Charge accumulated time, then hand the op to the sync controller."""
         engine = self.machine.engine
+        self._sync_mnem = op.mnemonic
 
         def issue() -> None:
             self._sync_issue_time = engine.now
@@ -192,5 +254,18 @@ class CPU:
     def _sync_resume(self) -> None:
         waited = self.machine.engine.now - self._sync_issue_time
         self.stats.add_stall(self._sync_cat, waited)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            # One event per sync op, stamped at issue and spanning the wait.
+            tracer.emit(
+                "sync",
+                self.core_id,
+                op=self._sync_mnem,
+                lat=waited,
+                cycle=self._sync_issue_time,
+            )
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.observe(f"sync.wait.{self._sync_mnem}", waited)
         self._send_value = None
         self._step()

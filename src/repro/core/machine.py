@@ -43,9 +43,17 @@ class Machine:
         num_threads: int | None = None,
         placement: Placement | None = None,
         detect_staleness: bool = False,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.params = params
         self.config = config
+        #: Observability sinks (:mod:`repro.obs`): a per-operation event
+        #: Tracer and/or a Metrics registry.  ``None`` (the default) means
+        #: disabled; attaching them never changes simulated results — the
+        #: neutrality test asserts bit-identical statistics either way.
+        self.tracer = tracer
+        self.metrics = metrics
         if placement is None:
             placement = identity_placement(
                 params, num_threads if num_threads is not None else params.num_cores
@@ -74,7 +82,12 @@ class Machine:
                 threadmap=threadmap,
                 detect_staleness=detect_staleness,
             )
-        self.sync = SyncController(self.hier.mesh, self.engine, self.stats)
+        self.protocol.tracer = tracer
+        self.protocol.metrics = metrics
+        self.sync = SyncController(
+            self.hier.mesh, self.engine, self.stats,
+            tracer=tracer, metrics=metrics,
+        )
         self._cpus: list[CPU] = []
         self._ran = False
 
@@ -119,6 +132,12 @@ class Machine:
             cpu.start()
         self.stats.exec_time = self.engine.run(max_cycles=max_cycles)
         self.stats.frozen = True  # verification flush must not count traffic
+        if self.metrics is not None:
+            # End-of-run gauges: the engine hook point plus headline totals,
+            # recorded here so the event loop itself stays uninstrumented.
+            self.metrics.set("engine.events", self.engine.events_scheduled)
+            self.metrics.set("machine.exec_time", self.stats.exec_time)
+            self.metrics.set("machine.total_flits", self.stats.total_flits)
         self.protocol.finalize()
         return self.stats
 

@@ -26,12 +26,16 @@ class RunResult:
     Instances are plain frozen dataclasses over picklable state, so they
     travel through process-pool workers unchanged, and ``to_dict`` /
     ``from_dict`` give an exact JSON round trip for the on-disk result
-    cache.
+    cache.  ``metrics`` is the optional JSON-safe
+    :meth:`repro.obs.metrics.Metrics.snapshot` of an instrumented run; it
+    round-trips through both paths bit-for-bit and stays ``None`` (and
+    absent from the dict form) for plain sweep runs.
     """
 
     app: str
     config: str
     stats: MachineStats
+    metrics: dict | None = None
 
     @property
     def exec_time(self) -> int:
@@ -41,11 +45,19 @@ class RunResult:
         return self.stats.breakdown()
 
     def to_dict(self) -> dict:
-        return {"app": self.app, "config": self.config, "stats": self.stats.to_dict()}
+        d = {"app": self.app, "config": self.config, "stats": self.stats.to_dict()}
+        if self.metrics is not None:
+            d["metrics"] = self.metrics
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "RunResult":
-        return cls(d["app"], d["config"], MachineStats.from_dict(d["stats"]))
+        return cls(
+            d["app"],
+            d["config"],
+            MachineStats.from_dict(d["stats"]),
+            d.get("metrics"),
+        )
 
 
 def run_intra(
@@ -56,19 +68,29 @@ def run_intra(
     scale: float = 1.0,
     machine_params: MachineParams | None = None,
     verify: bool = True,
+    tracer=None,
+    metrics=None,
 ) -> RunResult:
-    """Run a Model-1 (SPLASH) workload on the intra-block machine."""
+    """Run a Model-1 (SPLASH) workload on the intra-block machine.
+
+    ``tracer``/``metrics`` attach :mod:`repro.obs` sinks to the machine;
+    both are bit-identical-neutral and the metrics snapshot rides along in
+    the returned :class:`RunResult`.
+    """
     if app not in MODEL_ONE:
         raise ConfigError(f"unknown Model-1 workload {app!r}")
     params = machine_params or intra_block_machine(num_threads)
-    machine = Machine(params, config, num_threads=num_threads)
+    machine = Machine(
+        params, config, num_threads=num_threads, tracer=tracer, metrics=metrics
+    )
     workload = MODEL_ONE[app](scale=scale)
     if verify:
         stats = workload.run_on(machine)
     else:
         workload.prepare(machine)
         stats = machine.run()
-    return RunResult(app, config.name, stats)
+    snapshot = metrics.snapshot() if metrics is not None else None
+    return RunResult(app, config.name, stats, snapshot)
 
 
 def run_inter(
@@ -80,12 +102,20 @@ def run_inter(
     scale: float = 1.0,
     machine_params: MachineParams | None = None,
     verify: bool = True,
+    tracer=None,
+    metrics=None,
 ) -> RunResult:
-    """Run a Model-2 (NAS/Jacobi) workload on the inter-block machine."""
+    """Run a Model-2 (NAS/Jacobi) workload on the inter-block machine.
+
+    ``tracer``/``metrics`` attach :mod:`repro.obs` sinks, as in
+    :func:`run_intra`.
+    """
     if app not in MODEL_TWO:
         raise ConfigError(f"unknown Model-2 workload {app!r}")
     params = machine_params or inter_block_machine(num_blocks, cores_per_block)
-    machine = Machine(params, config, num_threads=params.num_cores)
+    machine = Machine(
+        params, config, num_threads=params.num_cores, tracer=tracer, metrics=metrics
+    )
     workload = MODEL_TWO[app](scale=scale)
     if verify:
         stats = workload.run_on(machine)
@@ -93,7 +123,8 @@ def run_inter(
         runner = workload.make_runner(machine)
         runner.spawn_all()
         stats = machine.run()
-    return RunResult(app, config.name, stats)
+    snapshot = metrics.snapshot() if metrics is not None else None
+    return RunResult(app, config.name, stats, snapshot)
 
 
 def sweep_intra(

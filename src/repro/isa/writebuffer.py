@@ -114,11 +114,15 @@ class WriteBuffer:
     local line) but must wait for a buffered INV to its address to drain.
     """
 
-    def __init__(self, capacity: int = 16) -> None:
+    def __init__(self, capacity: int = 16, *, metrics=None) -> None:
         if capacity < 1:
             raise OrderingError("write buffer needs at least one entry")
         self.capacity = capacity
         self._entries: list[Access] = []
+        #: Optional :class:`repro.obs.metrics.Metrics` registry; when
+        #: attached, retires, drains, and blocked load bypasses are counted
+        #: under ``wbuf.*``.
+        self.metrics = metrics
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -134,12 +138,17 @@ class WriteBuffer:
         if self.full:
             raise OrderingError("write buffer overflow — drain first")
         self._entries.append(access)
+        if self.metrics is not None:
+            self.metrics.inc(f"wbuf.retired.{access.kind.value}")
 
     def load_may_proceed(self, addr: int) -> bool:
         """May a load to *addr* execute now, given buffered entries?"""
-        return not any(
+        blocked = any(
             e.addr == addr and e.kind == AccKind.INV for e in self._entries
         )
+        if self.metrics is not None:
+            self.metrics.inc("wbuf.load_blocked" if blocked else "wbuf.load_bypass")
+        return not blocked
 
     def pending_store_value_visible(self, addr: int) -> bool:
         """True when a buffered store to *addr* would be forwarded to a load."""
@@ -149,8 +158,12 @@ class WriteBuffer:
         """Drain the oldest entry (global FIFO ⇒ per-address FIFO)."""
         if not self._entries:
             raise OrderingError("drain from empty write buffer")
+        if self.metrics is not None:
+            self.metrics.inc("wbuf.drained")
         return self._entries.pop(0)
 
     def drain_all(self) -> list[Access]:
         out, self._entries = self._entries, []
+        if self.metrics is not None and out:
+            self.metrics.inc("wbuf.drained", len(out))
         return out

@@ -1,0 +1,42 @@
+"""Observability: per-operation event tracing and a metrics registry.
+
+See :mod:`repro.obs.trace` (Tracer, JSONL + Chrome trace_event output),
+:mod:`repro.obs.metrics` (counters and latency histograms),
+:mod:`repro.obs.schema` (trace schema + validator), and
+:mod:`repro.obs.replay` (traced replay of sweep cells).
+"""
+
+from repro.obs.metrics import Histogram, Metrics
+from repro.obs.trace import TRACE_KINDS, Tracer
+
+#: Names re-exported lazily from :mod:`repro.obs.schema`, so that running
+#: ``python -m repro.obs.schema`` does not import the module twice (runpy
+#: warns when the target is already in ``sys.modules``).
+_SCHEMA_NAMES = (
+    "TRACE_FIELDS",
+    "TRACE_LEVELS",
+    "TraceSchemaError",
+    "validate_event",
+    "validate_jsonl",
+)
+
+
+def __getattr__(name: str):
+    if name in _SCHEMA_NAMES:
+        from repro.obs import schema
+
+        return getattr(schema, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Histogram",
+    "Metrics",
+    "TRACE_FIELDS",
+    "TRACE_KINDS",
+    "TRACE_LEVELS",
+    "TraceSchemaError",
+    "Tracer",
+    "validate_event",
+    "validate_jsonl",
+]

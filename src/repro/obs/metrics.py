@@ -1,0 +1,150 @@
+"""Metrics registry: named counters and latency histograms.
+
+A :class:`Metrics` instance is the machine-wide sink every instrumented
+component reports into — the protocols (fills, evictions, directory
+activity), the CPU front end (per-operation latencies), the synchronization
+controller (request counts, wait times), the write buffer model, and the
+engine (event totals).  Components hold an optional reference that defaults
+to ``None``; every hook point is guarded by a single ``is not None`` check,
+so a run without metrics pays one pointer comparison per hook and allocates
+nothing.
+
+Histograms use power-of-two buckets (bucket *i* counts observations with
+``bit_length() == i``, i.e. values in ``[2**(i-1), 2**i)``), which is exact
+enough for cycle latencies spanning an L1 hit (~1) to an off-chip round
+trip (~hundreds) while keeping observation O(1) with no pre-declared bounds.
+
+Snapshots (:meth:`Metrics.snapshot`) are plain JSON-safe dicts; they travel
+inside :class:`~repro.eval.runner.RunResult` through the process-pool sweep
+and the persistent result cache, and :meth:`Metrics.from_snapshot` restores
+a registry bit-for-bit for the round-trip tests.
+"""
+
+from __future__ import annotations
+
+
+class Histogram:
+    """Power-of-two-bucketed latency histogram (cycles, value >= 0)."""
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        #: bucket index -> observation count; index = value.bit_length().
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    def observe(self, value: int) -> None:
+        value = int(value)
+        b = value.bit_length() if value > 0 else 0
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @staticmethod
+    def bucket_bounds(index: int) -> tuple[int, int]:
+        """Half-open value range ``[lo, hi)`` covered by bucket *index*."""
+        if index <= 0:
+            return (0, 1)
+        return (1 << (index - 1), 1 << index)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (bucket keys stringified for JSON round trips)."""
+        return {
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Histogram":
+        h = cls()
+        h.buckets = {int(k): int(v) for k, v in d["buckets"].items()}
+        h.count = int(d["count"])
+        h.total = int(d["total"])
+        h.min = d["min"]
+        h.max = d["max"]
+        return h
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, mean={self.mean:.1f}, "
+            f"min={self.min}, max={self.max})"
+        )
+
+
+class Metrics:
+    """Registry of named counters and histograms for one simulation run."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add *n* to counter *name* (created at zero on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set(self, name: str, value: int) -> None:
+        """Set counter *name* to an absolute value (end-of-run gauges)."""
+        self.counters[name] = int(value)
+
+    def observe(self, name: str, value: int) -> None:
+        """Record one observation into histogram *name*."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        h.observe(value)
+
+    # -- reading -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self.histograms.get(name)
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every counter and histogram."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                k: h.to_dict() for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "Metrics":
+        m = cls()
+        m.counters = {k: int(v) for k, v in snap.get("counters", {}).items()}
+        m.histograms = {
+            k: Histogram.from_dict(d)
+            for k, d in snap.get("histograms", {}).items()
+        }
+        return m
+
+    def __repr__(self) -> str:
+        return (
+            f"Metrics({len(self.counters)} counter(s), "
+            f"{len(self.histograms)} histogram(s))"
+        )

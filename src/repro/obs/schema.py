@@ -1,0 +1,122 @@
+"""JSONL trace schema: documentation, validator, and a CLI entry point.
+
+Every line of a ``--trace`` output file is one JSON object with the fields
+below (see also the "Observability" section of README.md):
+
+=========  ========  ====================================================
+field      type      meaning
+=========  ========  ====================================================
+``kind``   str       one of :data:`repro.obs.trace.TRACE_KINDS`
+``core``   int >= 0  issuing (or, for hardware-initiated events, target)
+                     core id
+``cycle``  int >= 0  issue cycle of the operation
+``addr``   int >= 0  byte address (optional; absent for ALL-flavored ops)
+``line``   int >= 0  line address = addr // line_bytes (optional)
+``level``  str       hierarchy level touched: ``L1``/``L2``/``L3``/``mem``
+                     (optional)
+``lat``    int >= 0  charged latency in cycles (optional)
+``op``     str       ISA mnemonic or event detail, e.g. ``WB_ALL``,
+                     ``barrier``, ``DIR_INV`` (optional)
+=========  ========  ====================================================
+
+``python -m repro.obs.schema FILE`` validates a JSONL trace file and exits
+non-zero on the first violation — CI runs it against a ``repro trace``
+smoke output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.trace import TRACE_KINDS
+
+#: Hierarchy levels an event may name.
+TRACE_LEVELS = ("L1", "L2", "L3", "mem")
+
+#: field name -> (required, expected type).  Int fields must be >= 0.
+TRACE_FIELDS: dict[str, tuple[bool, type]] = {
+    "kind": (True, str),
+    "core": (True, int),
+    "cycle": (True, int),
+    "addr": (False, int),
+    "line": (False, int),
+    "level": (False, str),
+    "lat": (False, int),
+    "op": (False, str),
+}
+
+
+class TraceSchemaError(ValueError):
+    """A trace event violates the documented schema."""
+
+
+def validate_event(ev: dict) -> None:
+    """Raise :class:`TraceSchemaError` unless *ev* matches the schema."""
+    if not isinstance(ev, dict):
+        raise TraceSchemaError(f"event is not an object: {ev!r}")
+    for name, (required, typ) in TRACE_FIELDS.items():
+        if name not in ev:
+            if required:
+                raise TraceSchemaError(f"missing required field {name!r}: {ev!r}")
+            continue
+        value = ev[name]
+        # bool is an int subclass; a True/False core or cycle is a bug.
+        if not isinstance(value, typ) or isinstance(value, bool):
+            raise TraceSchemaError(
+                f"field {name!r} has type {type(value).__name__}, "
+                f"expected {typ.__name__}: {ev!r}"
+            )
+        if typ is int and value < 0:
+            raise TraceSchemaError(f"field {name!r} is negative: {ev!r}")
+    unknown = set(ev) - set(TRACE_FIELDS)
+    if unknown:
+        raise TraceSchemaError(f"unknown field(s) {sorted(unknown)}: {ev!r}")
+    if ev["kind"] not in TRACE_KINDS:
+        raise TraceSchemaError(f"unknown kind {ev['kind']!r}: {ev!r}")
+    if "level" in ev and ev["level"] not in TRACE_LEVELS:
+        raise TraceSchemaError(f"unknown level {ev['level']!r}: {ev!r}")
+
+
+def validate_jsonl(path) -> int:
+    """Validate every line of a JSONL trace file; return the event count.
+
+    Raises :class:`TraceSchemaError` naming the offending line on the first
+    violation (malformed JSON included).
+    """
+    count = 0
+    with open(path) as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                ev = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(f"{path}:{lineno}: bad JSON: {exc}") from None
+            try:
+                validate_event(ev)
+            except TraceSchemaError as exc:
+                raise TraceSchemaError(f"{path}:{lineno}: {exc}") from None
+            count += 1
+    return count
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.schema FILE [FILE ...]`` — validate traces."""
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print("usage: python -m repro.obs.schema TRACE.jsonl ...", file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            n = validate_jsonl(path)
+        except (OSError, TraceSchemaError) as exc:
+            print(f"invalid trace: {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: {n} event(s) ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI smoke step
+    raise SystemExit(main())

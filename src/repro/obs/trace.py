@@ -1,0 +1,152 @@
+"""Structured per-operation event tracing.
+
+The :class:`Tracer` records one event per simulated operation — reads,
+writes, WB/INV instructions, line fills, evictions, synchronization, and
+epoch markers — each stamped with the issuing core, byte and line address,
+hierarchy level, latency, and issue cycle.  Components hold an optional
+tracer reference defaulting to ``None`` and guard every emission with a
+single ``is not None`` check, so a run without tracing allocates nothing
+and pays one pointer comparison per hook point; results are bit-identical
+either way (the tracer only records, it never changes latencies or state —
+enforced by ``tests/obs/test_neutrality.py``).
+
+Clocking: the core model batches non-blocking operations between
+synchronization points without advancing the engine, so ``engine.now`` alone
+is not the issue time of an op mid-batch.  The CPU therefore publishes the
+current op's issue cycle into :attr:`Tracer.cycle` before dispatching to the
+protocol; protocol-internal events (fills, evictions) inherit that cycle.
+
+Output formats:
+
+* :meth:`write_jsonl` — one JSON object per line, validated by
+  :mod:`repro.obs.schema` (fields documented there);
+* :meth:`write_chrome` — Chrome ``trace_event`` JSON (open chrome://tracing
+  or https://ui.perfetto.dev and load the file; one row per core).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+#: Event kinds a tracer may emit (the JSONL schema's closed vocabulary).
+TRACE_KINDS = (
+    "read",
+    "write",
+    "wb",
+    "inv",
+    "fill",
+    "evict",
+    "sync",
+    "epoch",
+)
+
+
+class Tracer:
+    """In-memory event recorder with JSONL and Chrome trace_event output."""
+
+    __slots__ = ("events", "cycle")
+
+    def __init__(self) -> None:
+        #: Recorded events, in emission order (JSON-safe dicts).
+        self.events: list[dict] = []
+        #: Issue cycle of the operation currently executing (set by the CPU
+        #: before each dispatch; protocol-internal events inherit it).
+        self.cycle: int = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(
+        self,
+        kind: str,
+        core: int,
+        *,
+        addr: int | None = None,
+        line: int | None = None,
+        level: str | None = None,
+        lat: int | None = None,
+        op: str | None = None,
+        cycle: int | None = None,
+    ) -> None:
+        """Record one event.
+
+        ``cycle=None`` stamps the tracer's current op cycle; sync grants and
+        other engine-timed events pass an explicit cycle instead.
+        """
+        ev: dict = {
+            "kind": kind,
+            "core": core,
+            "cycle": self.cycle if cycle is None else cycle,
+        }
+        if addr is not None:
+            ev["addr"] = addr
+        if line is not None:
+            ev["line"] = line
+        if level is not None:
+            ev["level"] = level
+        if lat is not None:
+            ev["lat"] = lat
+        if op is not None:
+            ev["op"] = op
+        self.events.append(ev)
+
+    # -- selection helpers (used by tests and analysis scripts) --------------
+
+    def of_kind(self, *kinds: str) -> list[dict]:
+        """Events whose kind is in *kinds*, in emission order."""
+        want = set(kinds)
+        return [ev for ev in self.events if ev["kind"] in want]
+
+    def of_core(self, core: int) -> list[dict]:
+        """Events issued by *core*, in emission order."""
+        return [ev for ev in self.events if ev["core"] == core]
+
+    # -- output --------------------------------------------------------------
+
+    def write_jsonl(self, path) -> int:
+        """Write one JSON object per line; returns the event count."""
+        with open(path, "w") as fh:
+            self._dump_jsonl(fh)
+        return len(self.events)
+
+    def _dump_jsonl(self, fh: IO[str]) -> None:
+        for ev in self.events:
+            fh.write(json.dumps(ev, sort_keys=True))
+            fh.write("\n")
+
+    def to_chrome(self) -> dict:
+        """Chrome ``trace_event`` representation (complete "X" events).
+
+        Cycles map to microseconds one-to-one (chrome://tracing's units are
+        µs); each core renders as one thread row, with the event's address
+        and level preserved under ``args``.
+        """
+        trace_events = []
+        for ev in self.events:
+            args = {
+                k: v for k, v in ev.items() if k not in ("kind", "core", "cycle")
+            }
+            trace_events.append(
+                {
+                    "name": ev.get("op") or ev["kind"],
+                    "cat": ev["kind"],
+                    "ph": "X",
+                    "ts": ev["cycle"],
+                    "dur": max(1, ev.get("lat", 1) or 1),
+                    "pid": 0,
+                    "tid": ev["core"],
+                    "args": args,
+                }
+            )
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ns",
+            "otherData": {"source": "repro", "time_unit": "cycle"},
+        }
+
+    def write_chrome(self, path) -> int:
+        """Write the Chrome trace_event JSON; returns the event count."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh)
+        return len(self.events)

@@ -49,6 +49,16 @@ class Engine:
     def live_entities(self) -> int:
         return self._live_entities
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total callbacks scheduled so far (the metrics hook point).
+
+        Read once after :meth:`run` drains the queue — when it equals the
+        number executed — so the observability layer costs the hot loop
+        nothing.
+        """
+        return self._seq
+
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         """Run *callback* at ``now + delay`` (delay in cycles, >= 0).
 

@@ -35,10 +35,16 @@ class SyncController:
         mesh: Mesh,
         engine: Engine,
         stats: MachineStats,
+        *,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.mesh = mesh
         self.engine = engine
         self.stats = stats
+        #: Observability sinks (:mod:`repro.obs`); ``None`` means disabled.
+        self.tracer = tracer
+        self.metrics = metrics
         self._locks: dict[int, LockState] = {}
         self._barriers: dict[int, BarrierState] = {}
         self._flags: dict[int, FlagState] = {}
@@ -61,6 +67,20 @@ class SyncController:
         # Synchronization requests are uncacheable control flits, tracked
         # apart from coherence traffic (see TrafficCat.SYNC).
         self.stats.add_traffic(TrafficCat.SYNC, 1)
+
+    def _obs_request(self, what: str) -> None:
+        """Count one controller request in the metrics registry."""
+        if self.metrics is not None:
+            self.metrics.inc(f"sync.requests.{what}")
+
+    def _obs_grant(self, what: str, core: int) -> None:
+        """Trace one grant message leaving the controller (engine-timed)."""
+        if self.tracer is not None:
+            self.tracer.emit(
+                "sync", core, op=f"{what}_grant", cycle=self.engine.now
+            )
+        if self.metrics is not None:
+            self.metrics.inc(f"sync.grants.{what}")
 
     # -- declarations -------------------------------------------------------------
 
@@ -94,12 +114,14 @@ class SyncController:
         self.declare_barrier(bid, count)
         travel = self._one_way(core, bid) + SERVICE_CYCLES
         self._count_msg()
+        self._obs_request("barrier")
 
         def at_controller() -> None:
             released = self._barriers[bid].arrive(core, resume)
             if released is not None:
                 for waiter_core, waiter_resume in released:
                     self._count_msg()
+                    self._obs_grant("barrier", waiter_core)
                     self.engine.schedule(
                         self._one_way(waiter_core, bid), waiter_resume
                     )
@@ -109,11 +131,13 @@ class SyncController:
     def lock_acquire(self, core: int, lid: int, resume: Callable[[], None]) -> None:
         travel = self._one_way(core, lid) + SERVICE_CYCLES
         self._count_msg()
+        self._obs_request("lock_acquire")
 
         def at_controller() -> None:
             granted = self._lock(lid).acquire(core, resume)
             if granted:
                 self._count_msg()
+                self._obs_grant("lock", core)
                 self.engine.schedule(self._one_way(core, lid), resume)
             # else: queued; the release path schedules the grant.
 
@@ -122,12 +146,14 @@ class SyncController:
     def lock_release(self, core: int, lid: int, resume: Callable[[], None]) -> None:
         travel = self._one_way(core, lid) + SERVICE_CYCLES
         self._count_msg()
+        self._obs_request("lock_release")
 
         def at_controller() -> None:
             nxt = self._lock(lid).release(core)
             if nxt is not None:
                 nxt_core, nxt_resume = nxt
                 self._count_msg()
+                self._obs_grant("lock", nxt_core)
                 self.engine.schedule(self._one_way(nxt_core, lid), nxt_resume)
 
         self.engine.schedule(travel, at_controller)
@@ -139,11 +165,13 @@ class SyncController:
     ) -> None:
         travel = self._one_way(core, fid) + SERVICE_CYCLES
         self._count_msg()
+        self._obs_request("flag_set")
 
         def at_controller() -> None:
             ready = self._flag(fid).set(value)
             for waiter_core, waiter_resume in ready:
                 self._count_msg()
+                self._obs_grant("flag", waiter_core)
                 self.engine.schedule(self._one_way(waiter_core, fid), waiter_resume)
 
         self.engine.schedule(travel, at_controller)
@@ -154,11 +182,13 @@ class SyncController:
     ) -> None:
         travel = self._one_way(core, fid) + SERVICE_CYCLES
         self._count_msg()
+        self._obs_request("flag_wait")
 
         def at_controller() -> None:
             satisfied = self._flag(fid).wait(core, threshold, resume)
             if satisfied:
                 self._count_msg()
+                self._obs_grant("flag", core)
                 self.engine.schedule(self._one_way(core, fid), resume)
 
         self.engine.schedule(travel, at_controller)

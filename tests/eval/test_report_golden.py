@@ -1,0 +1,73 @@
+"""Golden-file regression tests for the figure/table renderers.
+
+The simulator is deterministic, so the rendered fig9/fig12 tables for a
+tiny fixed matrix are stable byte-for-byte.  These tests pin that output:
+any change to the simulator's timing model, the sweep plumbing, or the
+renderers that shifts a single digit shows up as a readable text diff.
+
+To regenerate after an *intentional* change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/eval/test_report_golden.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.common.params import inter_block_machine, intra_block_machine
+from repro.core.config import INTER_CONFIGS, INTRA_CONFIGS
+from repro.eval import report as rpt
+from repro.eval.runner import run_inter, run_intra
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def check_golden(name: str, rendered: str) -> None:
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered + "\n")
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"golden file {path} missing — run with REPRO_UPDATE_GOLDEN=1"
+    )
+    assert rendered + "\n" == path.read_text(), (
+        f"{name} drifted from its golden copy; if the change is intended, "
+        f"regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+def test_fig9_tiny_golden():
+    results = {
+        "volrend": {
+            cfg.name: run_intra(
+                "volrend",
+                cfg,
+                num_threads=4,
+                scale=0.5,
+                machine_params=intra_block_machine(4),
+            )
+            for cfg in INTRA_CONFIGS
+        }
+    }
+    check_golden("fig9_tiny.txt", rpt.render_fig9(results))
+
+
+def test_fig12_tiny_golden():
+    results = {
+        "ep": {
+            cfg.name: run_inter(
+                "ep",
+                cfg,
+                num_blocks=2,
+                cores_per_block=2,
+                scale=0.25,
+            )
+            for cfg in INTER_CONFIGS
+        }
+    }
+    check_golden("fig12_tiny.txt", rpt.render_fig12(results))

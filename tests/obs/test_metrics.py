@@ -1,0 +1,84 @@
+"""Unit tests for the Metrics registry and its power-of-two histograms."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Histogram, Metrics
+
+
+class TestHistogram:
+    def test_bucket_indexing_is_bit_length(self):
+        h = Histogram()
+        for v in (0, 1, 2, 3, 4, 7, 8, 1000):
+            h.observe(v)
+        assert h.buckets == {0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1}
+        assert h.count == 8
+        assert h.total == 1025
+        assert h.min == 0
+        assert h.max == 1000
+
+    def test_bucket_bounds_cover_their_values(self):
+        for v in (0, 1, 2, 5, 16, 100, 4097):
+            lo, hi = Histogram.bucket_bounds(v.bit_length() if v else 0)
+            assert lo <= v < hi
+
+    def test_mean_of_empty_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_json_round_trip(self):
+        h = Histogram()
+        for v in (1, 5, 5, 300):
+            h.observe(v)
+        d = json.loads(json.dumps(h.to_dict()))
+        assert Histogram.from_dict(d) == h
+
+    def test_eq_against_other_types(self):
+        assert Histogram() != object()
+
+
+class TestMetrics:
+    def test_counters_inc_and_set(self):
+        m = Metrics()
+        m.inc("a")
+        m.inc("a", 4)
+        m.set("b", 17)
+        assert m.counter("a") == 5
+        assert m.counter("b") == 17
+        assert m.counter("missing") == 0
+
+    def test_observe_creates_histograms(self):
+        m = Metrics()
+        m.observe("lat.read", 3)
+        m.observe("lat.read", 9)
+        h = m.histogram("lat.read")
+        assert h is not None and h.count == 2 and h.total == 12
+        assert m.histogram("missing") is None
+
+    def test_snapshot_is_json_safe_and_sorted(self):
+        m = Metrics()
+        m.inc("z")
+        m.inc("a")
+        m.observe("h", 2)
+        snap = json.loads(json.dumps(m.snapshot()))
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_from_snapshot_round_trip(self):
+        m = Metrics()
+        m.inc("c", 7)
+        m.observe("h", 12)
+        m.observe("h", 0)
+        restored = Metrics.from_snapshot(m.snapshot())
+        assert restored.counters == m.counters
+        assert restored.histograms == m.histograms
+        assert restored.snapshot() == m.snapshot()
+
+    def test_repr_mentions_sizes(self):
+        m = Metrics()
+        m.inc("x")
+        assert "1 counter" in repr(m)
+        assert "count=0" not in repr(m) or True
+        assert "Histogram(" in repr(Histogram())

@@ -1,0 +1,54 @@
+"""Tracing must be bit-identical-neutral: observing a run never changes it.
+
+The acceptance bar for the observability subsystem: with tracing/metrics
+off, nothing in the sweep results moves (they are literally the same
+numbers), and with tracing on, the *simulated* statistics still match the
+untraced run exactly — the tracer records, it never perturbs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    INTER_ADDR_L,
+    INTER_HCC,
+    INTRA_BMI,
+    INTRA_HCC,
+)
+from repro.eval import report as rpt
+from repro.eval.runner import run_inter, run_intra
+from repro.obs.replay import run_traced, traced_sweep
+
+INTRA_KW = dict(num_threads=4, scale=0.5)
+INTER_KW = dict(num_blocks=2, cores_per_block=2, scale=0.25)
+
+
+@pytest.mark.parametrize("config", [INTRA_BMI, INTRA_HCC],
+                         ids=lambda c: c.name)
+def test_intra_stats_identical_with_and_without_tracing(config):
+    plain = run_intra("volrend", config, **INTRA_KW)
+    traced, tracer, metrics = run_traced("intra", "volrend", config, **INTRA_KW)
+    assert traced.stats.to_dict() == plain.stats.to_dict()
+    assert len(tracer.events) > 0
+    assert metrics.counters  # something was recorded, yet nothing changed
+
+
+@pytest.mark.parametrize("config", [INTER_ADDR_L, INTER_HCC],
+                         ids=lambda c: c.name)
+def test_inter_stats_identical_with_and_without_tracing(config):
+    plain = run_inter("ep", config, **INTER_KW)
+    traced, tracer, metrics = run_traced("inter", "ep", config, **INTER_KW)
+    assert traced.stats.to_dict() == plain.stats.to_dict()
+    assert len(tracer.events) > 0
+
+
+def test_traced_sweep_renders_the_same_fig9_table():
+    apps = ["volrend"]
+    configs = [INTRA_HCC, INTRA_BMI]
+    plain = {
+        app: {c.name: run_intra(app, c, **INTRA_KW) for c in configs}
+        for app in apps
+    }
+    traced = traced_sweep("intra", apps, configs, **INTRA_KW)
+    assert rpt.render_fig9(traced) == rpt.render_fig9(plain)

@@ -1,0 +1,76 @@
+"""Tests for traced replay helpers and metrics riding inside RunResult."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.config import INTRA_BMI, INTRA_HCC
+from repro.eval.runner import RunResult, run_intra
+from repro.obs import validate_jsonl
+from repro.obs.replay import (
+    cell_trace_name,
+    kind_of_app,
+    run_traced,
+    traced_sweep,
+)
+
+KW = dict(num_threads=4, scale=0.5)
+
+
+def test_kind_of_app():
+    assert kind_of_app("volrend") == "intra"
+    assert kind_of_app("ep") == "inter"
+    with pytest.raises(ConfigError):
+        kind_of_app("doom")
+
+
+def test_run_traced_rejects_unknown_kind():
+    with pytest.raises(ConfigError):
+        run_traced("diagonal", "volrend", INTRA_BMI)
+
+
+def test_cell_trace_name_is_filesystem_safe():
+    assert cell_trace_name("fft", "B+M+I") == "fft-BMI.trace.jsonl"
+    assert "/" not in cell_trace_name("ep", "Addr+L")
+
+
+def test_run_result_carries_metrics_snapshot():
+    result, _tracer, metrics = run_traced("intra", "volrend", INTRA_BMI, **KW)
+    assert result.metrics == metrics.snapshot()
+    d = result.to_dict()
+    assert d["metrics"] == result.metrics
+    # JSON round trip (the persistent cache path) preserves the snapshot.
+    restored = RunResult.from_dict(json.loads(json.dumps(d)))
+    assert restored == result
+    # Pickle round trip (the process-pool path) too.
+    assert pickle.loads(pickle.dumps(result)) == result
+
+
+def test_plain_runs_keep_dict_form_unchanged():
+    plain = run_intra("volrend", INTRA_BMI, **KW)
+    assert plain.metrics is None
+    assert "metrics" not in plain.to_dict()  # old cache entries stay valid
+    assert RunResult.from_dict(plain.to_dict()) == plain
+
+
+def test_traced_sweep_writes_traces_and_metrics(tmp_path):
+    trace_dir = tmp_path / "traces"
+    metrics_path = tmp_path / "metrics.json"
+    results = traced_sweep(
+        "intra", ["volrend"], [INTRA_HCC, INTRA_BMI],
+        trace_dir=trace_dir, metrics_path=metrics_path, **KW,
+    )
+    assert set(results["volrend"]) == {"HCC", "B+M+I"}
+    for cfg in ("HCC", "BMI"):
+        path = trace_dir / f"volrend-{cfg}.trace.jsonl"
+        assert validate_jsonl(path) > 0
+    per_cell = json.loads(metrics_path.read_text())
+    assert set(per_cell["volrend"]) == {"HCC", "B+M+I"}
+    assert (
+        per_cell["volrend"]["B+M+I"]
+        == results["volrend"]["B+M+I"].metrics
+    )

@@ -1,0 +1,79 @@
+"""Unit tests for the trace schema validator and its CLI entry point."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import TraceSchemaError, validate_event, validate_jsonl
+from repro.obs.schema import main as schema_main
+
+GOOD = {"kind": "read", "core": 0, "cycle": 3, "addr": 64, "line": 1,
+        "level": "L1", "lat": 2, "op": "LD"}
+
+
+def test_valid_events_pass():
+    validate_event(GOOD)
+    validate_event({"kind": "sync", "core": 5, "cycle": 0})
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        {"kind": None},                       # wrong type
+        {"kind": "teleport"},                 # unknown kind
+        {"core": None},                       # missing -> required
+        {"core": True},                       # bool masquerading as int
+        {"cycle": -1},                        # negative int
+        {"level": "L9"},                      # unknown level
+        {"extra": 1},                         # unknown field
+        {"lat": "fast"},                      # wrong optional type
+    ],
+)
+def test_invalid_events_rejected(mutation):
+    ev = dict(GOOD)
+    for key, value in mutation.items():
+        if value is None:
+            ev.pop(key, None)
+        else:
+            ev[key] = value
+    with pytest.raises(TraceSchemaError):
+        validate_event(ev)
+
+
+def test_non_dict_event_rejected():
+    with pytest.raises(TraceSchemaError):
+        validate_event([1, 2, 3])
+
+
+def test_validate_jsonl_reports_line_numbers(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        json.dumps(GOOD) + "\n\n" + json.dumps({"kind": "warp", "core": 0,
+                                                "cycle": 1}) + "\n"
+    )
+    with pytest.raises(TraceSchemaError, match=r"bad\.jsonl:3"):
+        validate_jsonl(path)
+
+
+def test_validate_jsonl_rejects_malformed_json(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("{not json\n")
+    with pytest.raises(TraceSchemaError, match="bad JSON"):
+        validate_jsonl(path)
+
+
+def test_cli_ok_and_failure(tmp_path, capsys):
+    good = tmp_path / "good.jsonl"
+    good.write_text(json.dumps(GOOD) + "\n")
+    assert schema_main([str(good)]) == 0
+    assert "1 event(s) ok" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"kind": "warp", "core": 0, "cycle": 1}\n')
+    assert schema_main([str(bad)]) == 1
+    assert "invalid trace" in capsys.readouterr().err
+
+    assert schema_main([str(tmp_path / "missing.jsonl")]) == 1
+    assert schema_main([]) == 2

@@ -1,0 +1,74 @@
+"""Unit tests for the Tracer: emission, selection, JSONL and Chrome output."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import TRACE_KINDS, Tracer, validate_jsonl
+
+
+def test_emit_drops_absent_fields_and_stamps_current_cycle():
+    t = Tracer()
+    t.cycle = 42
+    t.emit("read", 1, addr=0x40, line=1, lat=3)
+    t.emit("sync", 2, op="BARRIER", cycle=100)
+    assert len(t) == 2
+    assert t.events[0] == {
+        "kind": "read", "core": 1, "cycle": 42, "addr": 0x40, "line": 1,
+        "lat": 3,
+    }
+    # Explicit cycle overrides the published op cycle; None fields absent.
+    assert t.events[1] == {"kind": "sync", "core": 2, "cycle": 100,
+                           "op": "BARRIER"}
+
+
+def test_selection_helpers():
+    t = Tracer()
+    t.emit("read", 0, addr=4)
+    t.emit("write", 1, addr=8)
+    t.emit("read", 1, addr=12)
+    assert [e["addr"] for e in t.of_kind("read")] == [4, 12]
+    assert [e["addr"] for e in t.of_kind("read", "write")] == [4, 8, 12]
+    assert [e["addr"] for e in t.of_core(1)] == [8, 12]
+
+
+def test_write_jsonl_round_trips_and_validates(tmp_path):
+    t = Tracer()
+    t.emit("fill", 0, line=2, level="L2")
+    t.emit("evict", 0, line=3, level="L1")
+    path = tmp_path / "t.jsonl"
+    assert t.write_jsonl(path) == 2
+    lines = path.read_text().splitlines()
+    assert [json.loads(ln) for ln in lines] == t.events
+    assert validate_jsonl(path) == 2
+
+
+def test_chrome_trace_shape():
+    t = Tracer()
+    t.cycle = 5
+    t.emit("wb", 3, addr=64, lat=10, op="WB_ALL")
+    t.emit("read", 2, addr=4)  # no lat -> dur defaults to 1
+    doc = t.to_chrome()
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    first, second = doc["traceEvents"]
+    assert first == {
+        "name": "WB_ALL", "cat": "wb", "ph": "X", "ts": 5, "dur": 10,
+        "pid": 0, "tid": 3, "args": {"addr": 64, "lat": 10, "op": "WB_ALL"},
+    }
+    assert second["name"] == "read"
+    assert second["dur"] == 1
+
+
+def test_write_chrome_is_loadable_json(tmp_path):
+    t = Tracer()
+    t.emit("sync", 0, op="barrier_grant", cycle=9)
+    path = tmp_path / "t.json"
+    assert t.write_chrome(path) == 1
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"][0]["ph"] == "X"
+
+
+def test_trace_kinds_is_the_closed_vocabulary():
+    assert set(TRACE_KINDS) == {
+        "read", "write", "wb", "inv", "fill", "evict", "sync", "epoch",
+    }

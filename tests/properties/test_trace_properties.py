@@ -1,0 +1,140 @@
+"""Property-based tests on the event trace emitted by the Tracer.
+
+Random producer–consumer programs (random item counts, values, consumer
+counts, and flag- vs barrier-based handoff) run with tracing attached, and
+the resulting event stream must satisfy the paper's coherence discipline:
+
+* **Handoff ordering** — every consumer ``read`` of a communicated word is
+  preceded (in simulated time) by a matching producer ``wb`` event and a
+  matching consumer ``inv`` event for that word.  That is exactly the
+  WB-before-sync / INV-after-sync contract the annotation algorithm
+  (Section IV-A) promises.
+* **Per-core monotonicity** — events a core's CPU emits appear with
+  non-decreasing cycles.  Controller-side grant events are excluded: the
+  grant is stamped when the controller releases the waiter, while the
+  waiter's own sync event is stamped back at issue time so its duration
+  spans the wait.
+* **Schema** — every emitted event validates against the trace schema.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import WORD_BYTES, intra_block_machine
+from repro.core.config import INTRA_BASE
+from repro.core.machine import Machine
+from repro.obs import Metrics, Tracer, validate_event
+
+#: (values, number of consumers, barrier-based handoff?)
+mp_strategy = st.tuples(
+    st.lists(st.integers(min_value=-99, max_value=99), min_size=1, max_size=6),
+    st.integers(min_value=1, max_value=2),
+    st.booleans(),
+)
+
+
+def run_mp(values, n_consumers, use_barrier):
+    """One traced producer→consumers handoff; returns (tracer, metrics)."""
+    tracer = Tracer()
+    metrics = Metrics()
+    machine = Machine(
+        intra_block_machine(4),
+        INTRA_BASE,
+        num_threads=1 + n_consumers,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    data = machine.array("data", len(values))
+    # One single-word hint range per item, so every WB/INV op (and hence
+    # every traced wb/inv event) carries the exact word address it covers.
+    ranges = [(data.addr(i), WORD_BYTES) for i in range(len(values))]
+
+    def producer(ctx):
+        for i, v in enumerate(values):
+            yield from ctx.store(data.addr(i), v)
+        if use_barrier:
+            yield from ctx.barrier(wb=ranges, inv=())
+        else:
+            yield from ctx.flag_set(1, wb=ranges)
+
+    def consumer(ctx):
+        if use_barrier:
+            yield from ctx.barrier(wb=(), inv=ranges)
+        else:
+            yield from ctx.flag_wait(1, inv=ranges)
+        got = []
+        for i in range(len(values)):
+            got.append((yield from ctx.load(data.addr(i))))
+        assert got == values
+
+    machine.spawn(producer)
+    for _ in range(n_consumers):
+        machine.spawn(consumer)
+    machine.run()
+    return tracer, metrics
+
+
+@given(mp_strategy)
+@settings(max_examples=25, deadline=None)
+def test_consumer_reads_follow_wb_and_inv(case):
+    values, n_consumers, use_barrier = case
+    tracer, _ = run_mp(values, n_consumers, use_barrier)
+    wb_by_addr: dict[int, list[dict]] = {}
+    inv_by_addr: dict[tuple[int, int], list[dict]] = {}
+    for ev in tracer.events:
+        if ev["kind"] == "wb" and ev["core"] == 0 and "addr" in ev:
+            wb_by_addr.setdefault(ev["addr"], []).append(ev)
+        if ev["kind"] == "inv" and ev["core"] != 0 and "addr" in ev:
+            inv_by_addr.setdefault((ev["core"], ev["addr"]), []).append(ev)
+
+    consumer_reads = [
+        ev for ev in tracer.of_kind("read") if ev["core"] != 0
+    ]
+    assert len(consumer_reads) == n_consumers * len(values)
+    for rd in consumer_reads:
+        wbs = wb_by_addr.get(rd["addr"], [])
+        assert any(ev["cycle"] <= rd["cycle"] for ev in wbs), (
+            f"consumer read {rd} has no earlier producer WB event"
+        )
+        invs = inv_by_addr.get((rd["core"], rd["addr"]), [])
+        assert any(ev["cycle"] <= rd["cycle"] for ev in invs), (
+            f"consumer read {rd} has no earlier invalidation by its core"
+        )
+
+
+@given(mp_strategy)
+@settings(max_examples=25, deadline=None)
+def test_event_cycles_monotone_per_core(case):
+    values, n_consumers, use_barrier = case
+    tracer, _ = run_mp(values, n_consumers, use_barrier)
+    for core in range(1 + n_consumers):
+        cycles = [
+            ev["cycle"]
+            for ev in tracer.of_core(core)
+            if not (
+                ev["kind"] == "sync" and ev.get("op", "").endswith("_grant")
+            )
+        ]
+        assert cycles == sorted(cycles), f"core {core} cycles not monotone"
+
+
+@given(mp_strategy)
+@settings(max_examples=15, deadline=None)
+def test_every_event_validates_and_metrics_agree(case):
+    values, n_consumers, use_barrier = case
+    tracer, metrics = run_mp(values, n_consumers, use_barrier)
+    for ev in tracer.events:
+        validate_event(ev)
+    # The CPU-side counters must agree with the emitted event stream.
+    cpu_wb = sum(
+        n for name, n in metrics.counters.items() if name.startswith("cpu.wb.")
+    )
+    cpu_inv = sum(
+        n for name, n in metrics.counters.items() if name.startswith("cpu.inv.")
+    )
+    op_events = [ev for ev in tracer.events if "op" in ev]
+    assert cpu_wb == sum(1 for ev in op_events if ev["kind"] == "wb")
+    assert cpu_inv == sum(1 for ev in op_events if ev["kind"] == "inv")
+    reads = metrics.histogram("lat.read")
+    assert reads.count == len(tracer.of_kind("read"))
