@@ -1,0 +1,159 @@
+"""``repro lint --fix``: turn findings into op-stream patches.
+
+The lint checker attaches :class:`~repro.analysis.lint.FixHint` insertion
+points (per-thread op index + word set) to every error finding.  This module
+turns them into concrete level-adaptive operations the way the paper's
+compiler would — ``WB_CONS``/``INV_PROD`` on multi-block machines (they pick
+L2 vs L3 from the ThreadMap), plain ranged ``WB``/``INV`` on a single-block
+machine — and splices them into the *original* thread generators.
+
+Patching wraps, rather than replays: the original program keeps running and
+producing values, and the wrapper injects the new ops at the recorded stream
+positions.  The positions are valid because a fully patched program is
+correctly annotated, so its dynamic control flow matches the sequentially
+consistent extraction the positions came from.  Verification is therefore
+end-to-end: re-run the patched kernel on the real simulator and compare
+observations and final memory against a reference configuration.
+
+A plan is **configuration-specific**: the ThreadCtx helpers expand
+annotations (epoch markers, default WB/INV hints) according to the
+machine's configuration, so stream indexes recorded under one configuration
+do not line up under another.  Always extract, plan, and patch with the
+same configuration.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.analysis.hb import WORD
+from repro.analysis.lint import LintReport
+from repro.common.errors import AnalysisError
+from repro.isa import ops as isa
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.machine import Machine
+
+#: Above this many disjoint runs, a hint collapses into one covering range.
+MAX_RANGES_PER_HINT = 16
+
+#: One patch set: thread id -> sorted [(anchor index, ops to insert), ...].
+PatchPlan = dict[int, list[tuple[int, list[isa.Op]]]]
+
+
+def coalesce(words: set[int], max_ranges: int = MAX_RANGES_PER_HINT):
+    """Merge word addresses into ``(addr, length)`` byte ranges.
+
+    Adjacent words fuse into runs; if the result is longer than
+    *max_ranges*, everything collapses into a single covering range (a
+    wider-than-needed WB/INV is correct, merely less precise).
+    """
+    addrs = sorted(words)
+    runs: list[tuple[int, int]] = []
+    for a in addrs:
+        if runs and runs[-1][0] + runs[-1][1] == a:
+            runs[-1] = (runs[-1][0], runs[-1][1] + WORD)
+        else:
+            runs.append((a, WORD))
+    if len(runs) > max_ranges:
+        lo = addrs[0]
+        hi = addrs[-1] + WORD
+        return [(lo, hi - lo)]
+    return runs
+
+
+def plan_fixes(report: LintReport, machine: "Machine") -> PatchPlan:
+    """Compute the per-thread insertion plan for *report*'s error findings.
+
+    Warnings (redundant annotations) are diagnostic-only: ``--fix`` inserts
+    missing operations, it never deletes existing ones.
+    """
+    level_adaptive = (
+        getattr(machine, "num_blocks", machine.params.num_blocks) > 1
+    )
+    merged: dict[tuple[str, int, int, int], set[int]] = {}
+    for finding in report.findings:
+        if finding.severity != "error":
+            continue
+        for hint in finding.fixes:
+            key = (hint.kind, hint.tid, hint.anchor, hint.peer)
+            merged.setdefault(key, set()).update(hint.words)
+
+    plan: PatchPlan = {}
+    for (kind, tid, anchor, peer), words in sorted(merged.items()):
+        ops: list[isa.Op] = []
+        for addr, length in coalesce(words):
+            if kind == "wb":
+                ops.append(
+                    isa.WBCons(addr, length, peer)
+                    if level_adaptive
+                    else isa.WB(addr, length)
+                )
+            else:
+                ops.append(
+                    isa.InvProd(addr, length, peer)
+                    if level_adaptive
+                    else isa.INV(addr, length)
+                )
+        plan.setdefault(tid, []).append((anchor, ops))
+    for inserts in plan.values():
+        inserts.sort(key=lambda pair: pair[0])
+    return plan
+
+
+def _patched(gen, inserts: list[tuple[int, list[isa.Op]]]) -> Iterator[isa.Op]:
+    """Yield *gen*'s stream with *inserts* spliced in by op index.
+
+    Injected WB/INV ops produce no values, so the send-value protocol of the
+    wrapped generator (``value = yield Read(addr)``) is preserved verbatim.
+    """
+    pending: dict[int, list[isa.Op]] = {}
+    for anchor, ops in inserts:
+        pending.setdefault(anchor, []).extend(ops)
+    idx = 0
+    send: Any = None
+    started = False
+    while True:
+        for op in pending.pop(idx, ()):
+            yield op
+        try:
+            op = gen.send(send) if started else next(gen)
+        except StopIteration:
+            break
+        started = True
+        send = yield op
+        idx += 1
+    # Anchors at or past the end of the stream flush after the last op.
+    for anchor in sorted(pending):
+        for op in pending[anchor]:
+            yield op
+
+
+def apply_fixes(machine: "Machine", plan: PatchPlan) -> int:
+    """Splice *plan* into a prepared (not yet run) machine's threads.
+
+    Returns the number of inserted operations.  The machine must be a fresh
+    instance, prepared identically to the one the lint report came from.
+    """
+    cpus = getattr(machine, "_cpus")
+    if not cpus:
+        raise AnalysisError("no threads spawned; prepare the machine first")
+    inserted = 0
+    for cpu in cpus:
+        inserts = plan.get(cpu.tid)
+        if inserts:
+            cpu.program = _patched(cpu.program, inserts)
+            inserted += sum(len(ops) for _, ops in inserts)
+    return inserted
+
+
+def render_plan(plan: PatchPlan) -> str:
+    """Human-readable description of a patch plan."""
+    if not plan:
+        return "no fixes to apply"
+    lines = ["planned insertions:"]
+    for tid in sorted(plan):
+        for anchor, ops in plan[tid]:
+            for op in ops:
+                lines.append(f"  tid {tid} @ op {anchor}: insert {op!r}")
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Happens-before analysis over extracted streams: DEF-USE across threads.
+
+This is the producer–consumer extraction of the paper's compiler pass
+(Section V-A.1) generalized from affine loop nests to arbitrary operation
+streams: instead of comparing statically chunked element intervals, the
+analyzer tracks the last writer of every word and derives ordering from the
+synchronization edges of Section IV-A Table I — barrier rounds, lock
+release→acquire chains, and monotonic flag set→wait pairs.
+
+Clock representation follows the FastTrack observation: a write is fully
+identified by its thread's scalar clock (``vc[p][p]`` at the write), so
+``W`` happens-before an event of thread *c* iff that scalar is ≤ *c*'s
+current knowledge of *p* (``vc[c][p]``).  Full vector snapshots are kept
+only at the (rare) INV and acquire-side events, where the checker later
+needs *c*'s whole knowledge at an intermediate point.
+
+The output is the set of cross-thread communication edges — read-after-write
+(a potential stale read) and write-after-write (a potential lost update) —
+plus the per-thread WB/INV/acquire/release event indexes the rule checker
+(:mod:`repro.analysis.lint`) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.extract import KernelTrace, OpEvent
+from repro.isa import ops as isa
+
+WORD = 4
+
+
+@dataclass(frozen=True)
+class CommEdge:
+    """One cross-thread communication: a write observed (or overwritten).
+
+    ``kind`` is ``"rw"`` (read-after-write) or ``"ww"`` (write-after-write).
+    ``write_clock`` is the producer's scalar clock at the write;
+    ``vcp_at_sink`` is the consumer's knowledge of the producer when the
+    sink executed — the edge is ordered iff ``write_clock <= vcp_at_sink``.
+    """
+
+    kind: str
+    write: OpEvent
+    write_clock: int
+    sink: OpEvent
+    vcp_at_sink: int
+
+    @property
+    def ordered(self) -> bool:
+        """True when synchronization orders the write before the sink."""
+        return self.write_clock <= self.vcp_at_sink
+
+    @property
+    def word(self) -> int:
+        """The communicated word's byte address."""
+        return (self.sink.op.addr // WORD) * WORD
+
+
+@dataclass(frozen=True)
+class AnnotEvent:
+    """A WB or INV (or IEB epoch-begin) event with its clock context.
+
+    For WB events only the emitting thread's scalar ``clock`` is kept; for
+    INV events ``vc`` snapshots the thread's whole vector clock so the
+    checker can ask "had the producer's write reached this thread *by the
+    time it invalidated*?".
+    """
+
+    idx: int
+    op: isa.Op
+    clock: int
+    vc: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class SyncPoint:
+    """An acquire- or release-side sync event of one thread.
+
+    ``vc`` is the post-join vector clock (acquire side only; release-side
+    points carry ``None`` — the checker only needs their program order).
+    """
+
+    idx: int
+    op: isa.Op
+    vc: tuple[int, ...] | None = None
+
+
+@dataclass
+class HBAnalysis:
+    """Everything the rule checker needs, indexed per thread."""
+
+    trace: KernelTrace
+    edges: list[CommEdge] = field(default_factory=list)
+    wb_events: list[list[AnnotEvent]] = field(default_factory=list)
+    inv_events: list[list[AnnotEvent]] = field(default_factory=list)
+    acquires: list[list[SyncPoint]] = field(default_factory=list)
+    releases: list[list[SyncPoint]] = field(default_factory=list)
+    #: Words with at least one cross-thread write during the run.
+    shared_words: set[int] = field(default_factory=set)
+
+
+def _merge(into: list[int], other) -> None:
+    for i, v in enumerate(other):
+        if v > into[i]:
+            into[i] = v
+
+
+def analyze_hb(trace: KernelTrace) -> HBAnalysis:
+    """Single forward pass: clocks, sync edges, and communication edges."""
+    n = trace.num_threads
+    out = HBAnalysis(
+        trace,
+        wb_events=[[] for _ in range(n)],
+        inv_events=[[] for _ in range(n)],
+        acquires=[[] for _ in range(n)],
+        releases=[[] for _ in range(n)],
+    )
+    vc = [[0] * n for _ in range(n)]
+    lock_vc: dict[int, tuple[int, ...]] = {}
+    flag_vc: dict[int, list[int]] = {}
+    barrier_members: dict[int, list[OpEvent]] = {}
+    done_groups: set[int] = set()
+    #: word byte address -> (writer tid, writer scalar clock, write event)
+    last_write: dict[int, tuple[int, int, OpEvent]] = {}
+    writers: dict[int, int] = {}  # word -> first writer tid
+
+    for ev in trace.events:
+        if ev.group is not None:
+            barrier_members.setdefault(ev.group, []).append(ev)
+
+    for ev in trace.events:
+        t = ev.tid
+        op = ev.op
+        kind = type(op)
+
+        if kind is isa.Barrier:
+            # One barrier round is a single HB join over all participants;
+            # process the whole (consecutively recorded) group atomically so
+            # every member's post-barrier clock covers every member's
+            # barrier event — then skip the other members' stream entries.
+            if ev.group in done_groups:
+                continue
+            done_groups.add(ev.group)  # type: ignore[arg-type]
+            members = barrier_members[ev.group]  # type: ignore[index]
+            for m_ev in members:
+                vc[m_ev.tid][m_ev.tid] += 1
+            joined = [
+                max(vc[m_ev.tid][i] for m_ev in members) for i in range(n)
+            ]
+            for m_ev in members:
+                _merge(vc[m_ev.tid], joined)
+                out.releases[m_ev.tid].append(SyncPoint(m_ev.idx, m_ev.op))
+                out.acquires[m_ev.tid].append(
+                    SyncPoint(m_ev.idx, m_ev.op, vc=tuple(vc[m_ev.tid]))
+                )
+            continue
+
+        me = vc[t]
+
+        if kind is isa.Write or kind is isa.Read:
+            word = (op.addr // WORD) * WORD
+            lw = last_write.get(word)
+            if lw is not None and lw[0] != t:
+                # A silent update — overwriting with the very same value —
+                # cannot lose anything observable: whichever copy reaches
+                # memory carries the same bits, and a genuine reader still
+                # forms an rw edge to the final writer.  The Model-2
+                # inspector relies on this (all consumers of an element
+                # record the identical owner tid in the conflict array).
+                silent = (
+                    kind is isa.Write and op.value == lw[2].op.value
+                )
+                if not silent:
+                    out.edges.append(
+                        CommEdge(
+                            kind="rw" if kind is isa.Read else "ww",
+                            write=lw[2],
+                            write_clock=lw[1],
+                            sink=ev,
+                            vcp_at_sink=me[lw[0]],
+                        )
+                    )
+            if kind is isa.Write:
+                me[t] += 1
+                last_write[word] = (t, me[t], ev)
+                first = writers.get(word)
+                if first is None:
+                    writers[word] = t
+                elif first != t:
+                    out.shared_words.add(word)
+            else:
+                me[t] += 1
+            continue
+
+        me[t] += 1
+
+        if isinstance(op, isa.WB_OPS):
+            out.wb_events[t].append(AnnotEvent(ev.idx, op, me[t]))
+        elif isinstance(op, isa.INV_OPS):
+            out.inv_events[t].append(
+                AnnotEvent(ev.idx, op, me[t], vc=tuple(me))
+            )
+        elif kind is isa.EpochBegin and op.ieb_mode:
+            # The IEB checks every read of the epoch against the L2 — the
+            # hardware equivalent of INV ALL at the epoch boundary.
+            out.inv_events[t].append(
+                AnnotEvent(ev.idx, op, me[t], vc=tuple(me))
+            )
+        elif kind is isa.LockAcquire:
+            held = lock_vc.get(op.lid)
+            if held is not None:
+                _merge(me, held)
+            out.acquires[t].append(SyncPoint(ev.idx, op, vc=tuple(me)))
+        elif kind is isa.LockRelease:
+            lock_vc[op.lid] = tuple(me)
+            out.releases[t].append(SyncPoint(ev.idx, op))
+        elif kind is isa.FlagSet:
+            acc = flag_vc.setdefault(op.fid, [0] * n)
+            _merge(acc, me)
+            out.releases[t].append(SyncPoint(ev.idx, op))
+        elif kind is isa.FlagWait:
+            acc = flag_vc.get(op.fid)
+            if acc is not None:
+                _merge(me, acc)
+            out.acquires[t].append(SyncPoint(ev.idx, op, vc=tuple(me)))
+    return out

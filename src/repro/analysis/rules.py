@@ -1,0 +1,154 @@
+"""The annotation rule catalog (Section IV-A Table I, normative form).
+
+Each :class:`Rule` is one row of the catalog every lint diagnostic cites.
+The IDs are stable identifiers — they appear in text and JSON reports and
+anchor into ``docs/ANNOTATIONS.md`` (rule ``WB-BAR`` is documented at
+``docs/ANNOTATIONS.md#wb-bar``), so tooling and humans land on the same
+normative description of why an annotation is required.
+
+Rule families:
+
+``*-BAR`` / ``*-REL`` / ``*-ACQ`` / ``*-FLAG`` / ``*-OCC``
+    Missing annotations on synchronized communication, split by the
+    synchronization idiom that orders the producer before the consumer
+    (barrier, critical section, condition flag, or sync that orders data
+    written *outside* the protecting construct — the paper's "occasional"
+    updates).
+``*-RACE``
+    Deliberately unsynchronized communication (Figure 6b) lacking the
+    WB-after-store / INV-before-load pattern that makes it merely racy
+    instead of silently stale forever.
+``*-LEVEL``
+    An annotation exists but stops at the wrong cache level for the
+    producer/consumer placement (Section V-B level-adaptive ops).
+``*-RED``
+    Redundant annotations: explicitly ranged WB/INV whose range provably
+    covers no communicated data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One normative annotation rule.
+
+    ``severity`` is ``"error"`` (a correctness hazard: stale read or lost
+    update is possible) or ``"warning"`` (a performance hazard only).
+    ``requirement`` states the Table I obligation; ``remedy`` is the
+    level-adaptive fix ``repro lint --fix`` applies.
+    """
+
+    rule_id: str
+    severity: str
+    title: str
+    requirement: str
+    remedy: str
+
+    @property
+    def anchor(self) -> str:
+        """Anchor of this rule's section in ``docs/ANNOTATIONS.md``."""
+        return f"docs/ANNOTATIONS.md#{self.rule_id.lower()}"
+
+
+_CATALOG = [
+    Rule(
+        "WB-BAR", "error", "missing write-back before barrier",
+        "Data written before a barrier and read after it by another thread "
+        "must be written back (WB) before the producer enters the barrier.",
+        "insert WB_CONS(range, consumer) before the producer's barrier",
+    ),
+    Rule(
+        "INV-BAR", "error", "missing invalidation after barrier",
+        "A thread reading data produced by another thread before a barrier "
+        "must self-invalidate (INV) its stale copies after leaving the "
+        "barrier and before the first read.",
+        "insert INV_PROD(range, producer) after the consumer's barrier",
+    ),
+    Rule(
+        "WB-REL", "error", "missing write-back before lock release",
+        "Data written inside a critical section must be written back "
+        "before the lock release that publishes it.",
+        "insert WB_CONS(range, consumer) before the lock release",
+    ),
+    Rule(
+        "INV-ACQ", "error", "missing invalidation after lock acquire",
+        "A thread entering a critical section must self-invalidate its "
+        "copies of the protected data after the acquire, before reading.",
+        "insert INV_PROD(range, producer) after the lock acquire",
+    ),
+    Rule(
+        "WB-FLAG", "error", "missing write-back before flag set",
+        "Data published through a condition flag must be written back "
+        "before the flag set that signals the consumer.",
+        "insert WB_CONS(range, consumer) before the flag set",
+    ),
+    Rule(
+        "INV-FLAG", "error", "missing invalidation after flag wait",
+        "A thread consuming data signalled through a condition flag must "
+        "self-invalidate its stale copies after the flag wait succeeds.",
+        "insert INV_PROD(range, producer) after the flag wait",
+    ),
+    Rule(
+        "WB-OCC", "error", "missing write-back for occasional update",
+        "Data written outside the synchronization construct that orders "
+        "it (an occasional update) must still be written back before the "
+        "ordering release-side operation.",
+        "insert WB_CONS(range, consumer) before the ordering release",
+    ),
+    Rule(
+        "INV-OCC", "error", "missing invalidation for occasional read",
+        "A thread reading occasionally-updated data must self-invalidate "
+        "after the ordering acquire-side operation, before the read.",
+        "insert INV_PROD(range, producer) after the ordering acquire",
+    ),
+    Rule(
+        "WB-RACE", "error", "unannotated racy write",
+        "A data write with no synchronization ordering it before a remote "
+        "access must be immediately followed by a WB in program order "
+        "(Figure 6b pattern), or the remote thread can miss it forever.",
+        "insert WB_CONS(word, consumer) immediately after the store",
+    ),
+    Rule(
+        "INV-RACE", "error", "unannotated racy read",
+        "A read racing with a remote write must be immediately preceded "
+        "by an INV in program order (Figure 6b pattern), or it can return "
+        "the same stale value forever.",
+        "insert INV_PROD(word, producer) immediately before the load",
+    ),
+    Rule(
+        "WB-LEVEL", "error", "write-back stops below the consumer",
+        "When producer and consumer are in different blocks, the WB must "
+        "reach the shared L3 (WB_L3, WB ALL_L3, or WB_CONS with a remote "
+        "consumer); an L2-level WB leaves the data invisible to the "
+        "consumer's block.",
+        "replace with / add WB_CONS(range, consumer) or WB_L3(range)",
+    ),
+    Rule(
+        "INV-LEVEL", "error", "invalidation stops above the stale copy",
+        "When producer and consumer are in different blocks, the INV must "
+        "also invalidate the consumer's L2 (INV_L2, INV ALL_L2, or "
+        "INV_PROD with a remote producer); an L1-only INV re-fetches the "
+        "stale L2 copy.",
+        "replace with / add INV_PROD(range, producer) or INV_L2(range)",
+    ),
+    Rule(
+        "WB-RED", "warning", "redundant write-back",
+        "An explicitly ranged WB whose range contains no word dirtied by "
+        "this thread since the last covering write-back does nothing but "
+        "consume cycles and write-buffer slots.",
+        "delete the WB or narrow its range to the words actually written",
+    ),
+    Rule(
+        "INV-RED", "warning", "redundant invalidation",
+        "An explicitly ranged INV whose range contains no word this "
+        "thread later reads — or no word ever written by another thread — "
+        "only destroys locality (extra misses, no correctness benefit).",
+        "delete the INV or narrow its range to the words actually shared",
+    ),
+]
+
+#: The catalog, keyed by rule ID.
+RULES: dict[str, Rule] = {r.rule_id: r for r in _CATALOG}

@@ -8,6 +8,8 @@ Usage (also via ``python -m repro``)::
     repro fig9 [--scale S] [--jobs N]       # regenerate a figure/table
     repro fig10 | fig11 | fig12 | table1 | table3 | storage
     repro trace fft --config B+M+I --out t.jsonl   # traced replay of a cell
+    repro lint --all-workloads              # static WB/INV annotation check
+    repro lint missing_annotations --fix    # auto-insert + verify vs HCC
 
 Figure sweeps fan out over ``--jobs`` worker processes (default: CPU count)
 and reuse verified results from the persistent cache under
@@ -44,12 +46,18 @@ from repro.workloads import MODEL_ONE, MODEL_TWO
 
 
 def _cmd_list(_args) -> int:
+    from repro.workloads.litmus import LITMUS
+
     print("Model-1 workloads (intra-block, SPLASH-2):")
     for name, cls in sorted(MODEL_ONE.items()):
         print(f"  {name:14s} main: {', '.join(cls.main_patterns)}")
     print("Model-2 workloads (inter-block, NAS/Jacobi):")
     for name in sorted(MODEL_TWO):
         print(f"  {name}")
+    print("Litmus kernels (repro lint --litmus / tests/coherence):")
+    for name, kernel in LITMUS.items():
+        tag = "ok" if kernel.lint_clean else ",".join(kernel.expect_rules)
+        print(f"  {name:34s} [{kernel.model}] {tag}")
     print("Intra configs: " + ", ".join(c.name for c in INTRA_CONFIGS))
     print("Inter configs: " + ", ".join(c.name for c in INTER_CONFIGS))
     return 0
@@ -209,6 +217,208 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _lint_targets(args):
+    """Resolve the lint targets: (kind, name) pairs in a stable order."""
+    from repro.common.errors import ConfigError
+    from repro.workloads.litmus import LITMUS
+
+    if args.all_workloads:
+        return [("m1", n) for n in sorted(MODEL_ONE)] + [
+            ("m2", n) for n in sorted(MODEL_TWO)
+        ]
+    if args.litmus:
+        return [("litmus", n) for n in LITMUS]
+    if not args.workload:
+        raise ConfigError(
+            "nothing to lint: name a workload/litmus kernel, or pass "
+            "--all-workloads / --litmus"
+        )
+    targets = []
+    for name in args.workload:
+        if name in MODEL_ONE:
+            targets.append(("m1", name))
+        elif name in MODEL_TWO:
+            targets.append(("m2", name))
+        elif name in LITMUS:
+            targets.append(("litmus", name))
+        else:
+            raise ConfigError(
+                f"unknown workload or litmus kernel {name!r} (try `repro "
+                "list`)"
+            )
+    return targets
+
+
+def _lint_config(kind: str, name: str, config_name: str | None):
+    """The Table II config a lint target is analyzed under (never HCC)."""
+    from repro.common.errors import ConfigError
+    from repro.workloads.litmus import LITMUS
+
+    if kind == "litmus":
+        model = LITMUS[name].model
+    else:
+        model = "intra" if kind == "m1" else "inter"
+    if config_name is None:
+        config_name = "Base" if model == "intra" else "Addr"
+    config = (
+        intra_config(config_name) if model == "intra"
+        else inter_config(config_name)
+    )
+    if config.hardware_coherent:
+        raise ConfigError(
+            "HCC keeps the hierarchy coherent in hardware; annotations "
+            "are disabled, so there is nothing to lint"
+        )
+    return config
+
+
+def _lint_machine(kind: str, name: str, config, scale: float):
+    """A fresh machine with the target prepared (spawned, not yet run)."""
+    from repro.core.machine import Machine
+    from repro.workloads.litmus import (
+        LITMUS,
+        machine_params,
+        spawn_litmus,
+    )
+
+    if kind == "litmus":
+        kernel = LITMUS[name]
+        machine = Machine(
+            machine_params(kernel), config, num_threads=kernel.threads
+        )
+        spawn_litmus(kernel, machine)
+        return machine
+    if kind == "m1":
+        machine = Machine(intra_block_machine(4), config, num_threads=4)
+        MODEL_ONE[name](scale=scale).prepare(machine)
+    else:
+        machine = Machine(inter_block_machine(2, 2), config, num_threads=4)
+        cls = MODEL_TWO[name]
+        try:
+            workload = cls(scale=scale, num_blocks=2)
+        except TypeError:  # most Model-2 workloads are block-agnostic
+            workload = cls(scale=scale)
+        workload.prepare(machine)
+    return machine
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis import lint_machine
+    from repro.workloads.litmus import LITMUS
+
+    targets = _lint_targets(args)
+    reports = []
+    worst = 0
+    for kind, name in targets:
+        config = _lint_config(kind, name, args.config)
+        machine = _lint_machine(kind, name, config, args.scale)
+        if args.dump_cfg:
+            from repro.analysis import extract
+            from repro.analysis.cfg import build_cfgs, render_cfg
+
+            trace = extract(machine)
+            for cfg_ in build_cfgs(trace):
+                print(render_cfg(cfg_))
+            continue
+        report = lint_machine(machine, name=name, config=config.name)
+        entry = report.to_dict()
+        if kind == "litmus":
+            kernel = LITMUS[name]
+            got = {f.rule_id for f in report.findings}
+            ok = set(kernel.expect_rules) <= got and (
+                bool(kernel.expect_rules) or report.clean
+            )
+            entry["expected_rules"] = sorted(kernel.expect_rules)
+            entry["as_expected"] = ok
+        reports.append((kind, name, report, entry))
+        if not args.json:
+            print(report.render())
+            if args.litmus and kind == "litmus":
+                verdict = "as expected" if entry["as_expected"] else (
+                    "UNEXPECTED (wanted "
+                    + (", ".join(entry["expected_rules"]) or "clean") + ")"
+                )
+                print(f"  -> {verdict}")
+        fixed: int | None = None
+        if args.fix and report.errors:
+            if kind != "litmus":
+                print(f"{name}: --fix supports litmus kernels only",
+                      file=sys.stderr)
+                return 2
+            fixed = _run_fix(name, config, report, args.json)
+        if args.litmus:
+            # Cross-validation mode: broken kernels are *supposed* to be
+            # flagged, so the exit status tracks expectation mismatches.
+            if not entry["as_expected"]:
+                worst = max(worst, 1)
+        elif fixed is not None:
+            worst = max(worst, fixed)
+        elif report.errors:
+            worst = max(worst, 1)
+    if args.json and not args.dump_cfg:
+        payload = [e for _, _, _, e in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=1, sort_keys=True))
+    return worst
+
+
+def _run_fix(name: str, config, report, as_json: bool) -> int:
+    """Verify ``--fix`` on one litmus kernel; returns the exit status."""
+    from repro.analysis import lint_machine
+    from repro.analysis.fix import apply_fixes, plan_fixes, render_plan
+    from repro.core.config import INTER_HCC, INTRA_HCC
+    from repro.core.machine import Machine
+    from repro.workloads.litmus import (
+        LITMUS,
+        machine_params,
+        spawn_litmus,
+    )
+
+    kernel = LITMUS[name]
+    hcc = INTRA_HCC if kernel.model == "intra" else INTER_HCC
+
+    def outcome(cfg, plan=None):
+        machine = Machine(
+            machine_params(kernel), cfg, num_threads=kernel.threads
+        )
+        arrs, obs = spawn_litmus(kernel, machine)
+        if plan:
+            apply_fixes(machine, plan)
+        machine.run()
+        mem = {n: machine.read_array(a) for n, a in arrs.items()}
+        return obs, mem
+
+    planner = Machine(
+        machine_params(kernel), config, num_threads=kernel.threads
+    )
+    spawn_litmus(kernel, planner)
+    plan = plan_fixes(
+        lint_machine(planner, name=name, config=config.name), planner
+    )
+    if not as_json:
+        print(render_plan(plan))
+    fixed = outcome(config, plan)
+    reference = outcome(hcc)
+    relint_machine = Machine(
+        machine_params(kernel), config, num_threads=kernel.threads
+    )
+    spawn_litmus(kernel, relint_machine)
+    apply_fixes(relint_machine, plan)
+    relint = lint_machine(relint_machine, name=name, config=config.name)
+    ok = fixed == reference and relint.errors == 0
+    if not as_json:
+        if ok:
+            print(f"  fix verified: {name} under {config.name} now matches "
+                  "the HCC reference bit-for-bit and re-lints clean")
+        else:
+            print(f"  FIX FAILED for {name} under {config.name}: "
+                  f"fixed={fixed} reference={reference}, "
+                  f"{relint.errors} residual error(s)")
+    return 0 if ok else 1
+
+
 def _cmd_table1(_args) -> int:
     print(rpt.render_table1())
     return 0
@@ -307,6 +517,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_t3 = sub.add_parser("table3", help="print the architecture table")
     p_t3.add_argument("--machine", choices=("intra", "inter"), default="inter")
     p_t3.set_defaults(fn=_cmd_table3)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically check WB/INV annotations (Section IV-A rules)",
+        description=(
+            "Extract each target's per-thread operation streams (without "
+            "running the cache simulator), derive the cross-thread "
+            "producer-consumer edges, and check every Table I annotation "
+            "rule.  Exit 1 on any error finding (or, for litmus kernels, "
+            "any deviation from the kernel's documented expectation).  "
+            "Rules are documented in docs/ANNOTATIONS.md."
+        ),
+    )
+    p_lint.add_argument(
+        "workload", nargs="*",
+        help="workload or litmus-kernel names (see `repro list`)",
+    )
+    p_lint.add_argument(
+        "--all-workloads", action="store_true",
+        help="lint every shipped SPLASH/NAS workload",
+    )
+    p_lint.add_argument(
+        "--litmus", action="store_true",
+        help="lint every litmus kernel and cross-validate against its "
+        "documented expectation (broken kernels must be flagged)",
+    )
+    p_lint.add_argument(
+        "--config", default=None,
+        help="Table II config to analyze under (default: Base intra, "
+        "Addr inter; HCC is rejected — nothing to lint)",
+    )
+    p_lint.add_argument("--scale", type=float, default=0.5)
+    p_lint.add_argument(
+        "--json", action="store_true",
+        help="emit the report(s) as JSON instead of text",
+    )
+    p_lint.add_argument(
+        "--fix", action="store_true",
+        help="for litmus kernels with errors: insert the missing "
+        "level-adaptive WB/INV ops, re-run on the simulator, and verify "
+        "bit-identical observations+memory against the HCC reference",
+    )
+    p_lint.add_argument(
+        "--dump-cfg", action="store_true",
+        help="print each thread's control-flow graph instead of linting",
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
     return parser
 
 
@@ -325,6 +582,11 @@ def main(argv: list[str] | None = None) -> int:
         # crash — print the message without a traceback.
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; the convention
+        # is to die quietly with SIGPIPE's exit status.
+        sys.stderr.close()  # suppress the 'lost sys.stderr' warning
+        return 128 + 13
 
 
 if __name__ == "__main__":  # pragma: no cover

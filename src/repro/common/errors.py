@@ -49,3 +49,7 @@ class OrderingError(ReproError):
 
 class MPIError(ReproError):
     """Misuse of the on-chip message-passing layer."""
+
+
+class AnalysisError(ReproError):
+    """The static annotation analyzer could not process a kernel."""

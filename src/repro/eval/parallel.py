@@ -53,6 +53,7 @@ class SweepCell:
     def make(
         cls, kind: str, app: str, config: ExperimentConfig, **kwargs
     ) -> "SweepCell":
+        """Build a cell with kwargs canonicalized into sorted tuple form."""
         return cls(kind, app, config, tuple(sorted(kwargs.items())))
 
 
@@ -80,6 +81,7 @@ class SweepStats:
     wall_seconds: float = 0.0
 
     def summary(self) -> str:
+        """One-line human-readable digest of the accumulated counters."""
         parts = [
             f"{self.cells} cell(s) in {self.wall_seconds:.2f}s",
             f"jobs={self.jobs}",

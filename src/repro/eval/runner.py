@@ -39,12 +39,15 @@ class RunResult:
 
     @property
     def exec_time(self) -> int:
+        """Simulated execution time in cycles (the Figure 9/12 y-axis)."""
         return self.stats.exec_time
 
     def breakdown(self) -> dict[str, float]:
+        """Stall/traffic composition of the run (Figure 9/10 categories)."""
         return self.stats.breakdown()
 
     def to_dict(self) -> dict:
+        """JSON-safe form; ``metrics`` is included only when present."""
         d = {"app": self.app, "config": self.config, "stats": self.stats.to_dict()}
         if self.metrics is not None:
             d["metrics"] = self.metrics
@@ -52,6 +55,7 @@ class RunResult:
 
     @classmethod
     def from_dict(cls, d: dict) -> "RunResult":
+        """Exact inverse of :meth:`to_dict` (the result-cache contract)."""
         return cls(
             d["app"],
             d["config"],

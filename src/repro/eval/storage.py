@@ -40,18 +40,22 @@ class StorageReport:
 
     @property
     def saved_bits(self) -> int:
+        """Bits the incoherent hierarchy saves over the directory MESI one."""
         return self.coherent_bits - self.incoherent_bits
 
     @property
     def saved_kbytes(self) -> float:
+        """:attr:`saved_bits` expressed in kilobytes."""
         return self.saved_bits / 8 / 1024
 
     @property
     def coherent_kbytes(self) -> float:
+        """Coherent-hierarchy bookkeeping storage in kilobytes."""
         return self.coherent_bits / 8 / 1024
 
     @property
     def incoherent_kbytes(self) -> float:
+        """Incoherent-hierarchy bookkeeping storage in kilobytes."""
         return self.incoherent_bits / 8 / 1024
 
 

@@ -286,3 +286,47 @@ INV_OPS = (INV, INVAll, InvProd, InvProdAll, INVL2, INVAllL2)
 
 #: Synchronization operations served by the shared-cache sync controller.
 SYNC_OPS = (Barrier, LockAcquire, LockRelease, FlagSet, FlagWait)
+
+# -- static-analysis classification (used by repro.analysis) ------------------
+
+#: WB/INV flavors carrying an explicit [addr, addr+length) byte range.
+RANGED_WB_OPS = (WB, WBCons, WBL3)
+RANGED_INV_OPS = (INV, InvProd, INVL2)
+
+#: WB/INV flavors that sweep a whole cache (no address information).
+ALL_WB_OPS = (WBAll, WBConsAll, WBAllL3)
+ALL_INV_OPS = (INVAll, InvProdAll, INVAllL2)
+
+#: Release-side synchronization: annotations posting data go *before* these.
+RELEASE_SIDE_OPS = (Barrier, LockRelease, FlagSet)
+
+#: Acquire-side synchronization: annotations exposing data go *after* these.
+ACQUIRE_SIDE_OPS = (Barrier, LockAcquire, FlagWait)
+
+#: WB flavors that reach the chip-shared last-level cache unconditionally.
+GLOBAL_WB_OPS = (WBL3, WBAllL3)
+
+#: INV flavors that invalidate from the block's L2 (not just the L1).
+GLOBAL_INV_OPS = (INVL2, INVAllL2)
+
+
+def byte_range(op: Op) -> tuple[int, int] | None:
+    """Byte interval ``[lo, hi)`` covered by a ranged WB/INV op.
+
+    Returns ``None`` for ALL-flavored ops (whole-cache sweeps) and for
+    operations that carry no write-back/invalidation range at all.
+    """
+    if isinstance(op, RANGED_WB_OPS + RANGED_INV_OPS):
+        return (op.addr, op.addr + op.length)
+    return None
+
+
+def sync_var_id(op: Op) -> int | None:
+    """Synchronization variable ID of a sync op (barrier/lock/flag), else None."""
+    if isinstance(op, Barrier):
+        return op.bid
+    if isinstance(op, (LockAcquire, LockRelease)):
+        return op.lid
+    if isinstance(op, (FlagSet, FlagWait)):
+        return op.fid
+    return None

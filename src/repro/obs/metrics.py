@@ -37,6 +37,7 @@ class Histogram:
         self.max: int | None = None
 
     def observe(self, value: int) -> None:
+        """Record one observation (bucket index = ``value.bit_length()``)."""
         value = int(value)
         b = value.bit_length() if value > 0 else 0
         self.buckets[b] = self.buckets.get(b, 0) + 1
@@ -49,6 +50,7 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
     @staticmethod
@@ -70,6 +72,7 @@ class Histogram:
 
     @classmethod
     def from_dict(cls, d: dict) -> "Histogram":
+        """Exact inverse of :meth:`to_dict` (the round-trip contract)."""
         h = cls()
         h.buckets = {int(k): int(v) for k, v in d["buckets"].items()}
         h.count = int(d["count"])
@@ -119,9 +122,11 @@ class Metrics:
     # -- reading -------------------------------------------------------------
 
     def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 if never touched)."""
         return self.counters.get(name, 0)
 
     def histogram(self, name: str) -> Histogram | None:
+        """Histogram *name*, or ``None`` if nothing was observed into it."""
         return self.histograms.get(name)
 
     def snapshot(self) -> dict:
@@ -135,6 +140,7 @@ class Metrics:
 
     @classmethod
     def from_snapshot(cls, snap: dict) -> "Metrics":
+        """Exact inverse of :meth:`snapshot` (the round-trip contract)."""
         m = cls()
         m.counters = {k: int(v) for k, v in snap.get("counters", {}).items()}
         m.histograms = {

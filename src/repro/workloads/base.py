@@ -122,9 +122,21 @@ class ModelTwoWorkload(ABC):
                         f"{self.name}: {name}[{k}] = {g!r}, expected {w!r}"
                     )
 
-    def run_on(self, machine: Machine):
+    def prepare(self, machine: Machine) -> ModelTwoRunner:
+        """Lower the IR, preload inputs, and spawn all threads.
+
+        Uniform counterpart of :meth:`ModelOneWorkload.prepare` so generic
+        tooling (``repro lint``, the sweep engine) can stage any workload
+        on a machine without knowing its model; returns the runner needed
+        for Model-2 verification.
+        """
         runner = self.make_runner(machine)
         runner.spawn_all()
+        return runner
+
+    def run_on(self, machine: Machine):
+        """Convenience: prepare, run, verify; returns the statistics."""
+        runner = self.prepare(machine)
         stats = machine.run()
         self.verify(runner)
         return stats

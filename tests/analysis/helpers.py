@@ -1,0 +1,65 @@
+"""Shared helpers for the static-analyzer test suite."""
+
+from __future__ import annotations
+
+from repro.analysis import lint_machine
+from repro.core.config import INTER_CONFIGS, INTRA_CONFIGS
+from repro.core.machine import Machine
+from repro.workloads.litmus import LITMUS, machine_params, spawn_litmus
+
+#: Workload scales matching tests/workloads (keeps each lint under ~1s).
+SPLASH_SCALE = {
+    "fft": 0.6, "lu_cont": 0.5, "lu_noncont": 0.5, "cholesky": 0.8,
+    "barnes": 0.5, "raytrace": 0.5, "volrend": 0.5, "ocean_cont": 0.6,
+    "ocean_noncont": 0.6, "water_nsq": 0.4, "water_sp": 0.4,
+}
+NAS_SCALE = {"jacobi": 0.15, "ep": 0.25, "is": 0.15, "cg": 0.35}
+
+
+def config_named(model: str, name: str):
+    configs = INTRA_CONFIGS if model == "intra" else INTER_CONFIGS
+    return next(c for c in configs if c.name == name)
+
+
+def default_config(model: str):
+    """The default lint configuration per machine model."""
+    return config_named(model, "Base" if model == "intra" else "Addr")
+
+
+def litmus_machine(name: str, config=None) -> Machine:
+    """A fresh machine with litmus kernel *name* spawned, not yet run."""
+    kernel = LITMUS[name]
+    if config is None:
+        config = default_config(kernel.model)
+    machine = Machine(
+        machine_params(kernel), config, num_threads=kernel.threads
+    )
+    spawn_litmus(kernel, machine)
+    return machine
+
+
+def lint_litmus(name: str, config=None):
+    kernel = LITMUS[name]
+    if config is None:
+        config = default_config(kernel.model)
+    machine = litmus_machine(name, config)
+    return lint_machine(machine, name=name, config=config.name)
+
+
+def run_litmus(name: str, config, plan=None):
+    """Run kernel *name* under *config*, optionally with a patch plan.
+
+    Returns ``(obs, mem)``.
+    """
+    from repro.analysis.fix import apply_fixes
+
+    kernel = LITMUS[name]
+    machine = Machine(
+        machine_params(kernel), config, num_threads=kernel.threads
+    )
+    arrs, obs = spawn_litmus(kernel, machine)
+    if plan is not None:
+        apply_fixes(machine, plan)
+    machine.run()
+    mem = {n: machine.read_array(a) for n, a in arrs.items()}
+    return obs, mem

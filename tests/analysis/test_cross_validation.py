@@ -1,0 +1,83 @@
+"""Static/dynamic cross-validation: the two harnesses must agree.
+
+The dynamic differential harness (``tests/coherence``) proves which litmus
+kernels actually lose updates or read stale data on the simulated
+incoherent hierarchy.  These tests pin the static analyzer to the same
+verdicts:
+
+* every kernel the dynamic harness flags (``determinate=False``) must be
+  flagged statically, citing the documented rules — no static false
+  negatives;
+* every correctly annotated kernel and every shipped SPLASH/NAS workload
+  must lint completely clean — no static false positives on real code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lint_machine
+from repro.core.config import INTER_ADDR, INTRA_BASE
+from repro.core.machine import Machine
+from repro.common.params import inter_block_machine, intra_block_machine
+from repro.workloads import MODEL_ONE, MODEL_TWO
+from repro.workloads.litmus import LITMUS
+
+from tests.analysis.helpers import (
+    NAS_SCALE,
+    SPLASH_SCALE,
+    lint_litmus,
+)
+
+
+@pytest.mark.parametrize("name", sorted(LITMUS))
+def test_litmus_matches_expectation(name):
+    """Each kernel's lint verdict equals its documented expectation."""
+    kernel = LITMUS[name]
+    report = lint_litmus(name)
+    got = {f.rule_id for f in report.findings}
+    assert set(kernel.expect_rules) <= got, (
+        f"{name}: expected rules {sorted(kernel.expect_rules)} "
+        f"not all reported (got {sorted(got)})"
+    )
+    if kernel.lint_clean:
+        assert report.clean, (
+            f"{name} should lint clean but got {sorted(got)}"
+        )
+
+
+@pytest.mark.parametrize(
+    "name", sorted(k.name for k in LITMUS.values() if not k.determinate)
+)
+def test_dynamically_broken_kernels_fail_lint(name):
+    """No static false negatives: dynamic divergence implies lint errors.
+
+    ``test_litmus_broken_diverges`` (tests/coherence) proves these kernels
+    really diverge from hardware coherence when run; here the analyzer
+    must catch every one of them without running the cache simulator.
+    """
+    report = lint_litmus(name)
+    assert report.errors > 0, f"{name} diverges dynamically but lints clean"
+
+
+def test_canary_fails_lint():
+    """The canary kernel of the differential suite must also fail lint."""
+    report = lint_litmus("missing_annotations")
+    got = {f.rule_id for f in report.findings}
+    assert {"WB-FLAG", "INV-FLAG"} <= got
+
+
+@pytest.mark.parametrize("app", sorted(SPLASH_SCALE))
+def test_splash_workloads_lint_clean(app):
+    machine = Machine(intra_block_machine(4), INTRA_BASE, num_threads=4)
+    MODEL_ONE[app](scale=SPLASH_SCALE[app]).prepare(machine)
+    report = lint_machine(machine, name=app, config=INTRA_BASE.name)
+    assert report.clean, report.render()
+
+
+@pytest.mark.parametrize("app", sorted(NAS_SCALE))
+def test_nas_workloads_lint_clean(app):
+    machine = Machine(inter_block_machine(2, 2), INTER_ADDR, num_threads=4)
+    MODEL_TWO[app](scale=NAS_SCALE[app]).prepare(machine)
+    report = lint_machine(machine, name=app, config=INTER_ADDR.name)
+    assert report.clean, report.render()

@@ -1,0 +1,114 @@
+"""End-to-end verification of ``repro lint --fix``.
+
+The strongest possible check: for every deliberately broken litmus kernel,
+plan the missing annotations statically, splice them into the unmodified
+program, run the result on the real cache simulator, and require
+observations + final memory to be bit-identical to the hardware-coherent
+(HCC) reference — under every incoherent configuration of the kernel's
+machine model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lint_machine
+from repro.analysis.fix import (
+    MAX_RANGES_PER_HINT,
+    apply_fixes,
+    coalesce,
+    plan_fixes,
+    render_plan,
+)
+from repro.core.config import INTER_CONFIGS, INTRA_CONFIGS
+from repro.workloads.litmus import LITMUS
+
+from tests.analysis.helpers import litmus_machine, run_litmus
+
+_BROKEN = sorted(k.name for k in LITMUS.values() if not k.determinate)
+
+
+def _model_configs(kernel):
+    return INTRA_CONFIGS if kernel.model == "intra" else INTER_CONFIGS
+
+
+@pytest.mark.parametrize("name", _BROKEN)
+def test_fixed_kernel_matches_hcc_everywhere(name):
+    """Patched broken kernels become bit-identical to hardware coherence.
+
+    The plan is config-specific (annotation expansion differs per
+    config), so each configuration gets its own extract/plan/patch cycle.
+    """
+    kernel = LITMUS[name]
+    configs = _model_configs(kernel)
+    hcc = configs[0]
+    assert hcc.name == "HCC"
+    reference = run_litmus(name, hcc)
+    for config in configs[1:]:
+        machine = litmus_machine(name, config)
+        report = lint_machine(machine, name=name, config=config.name)
+        plan = plan_fixes(report, machine)
+        assert plan, f"{name}: no fixes planned under {config.name}"
+        outcome = run_litmus(name, config, plan=plan)
+        assert outcome == reference, (
+            f"{name} under {config.name} still diverges after --fix: "
+            f"{outcome} != {reference}\n{render_plan(plan)}"
+        )
+
+
+@pytest.mark.parametrize("name", _BROKEN)
+def test_fixed_kernel_relints_clean(name):
+    """After patching, the analyzer finds no more errors."""
+    kernel = LITMUS[name]
+    config = _model_configs(kernel)[1]
+    machine = litmus_machine(name, config)
+    plan = plan_fixes(
+        lint_machine(machine, name=name, config=config.name), machine
+    )
+    patched = litmus_machine(name, config)
+    apply_fixes(patched, plan)
+    report = lint_machine(patched, name=name, config=config.name)
+    assert report.errors == 0, report.render()
+
+
+def test_clean_workload_needs_no_fixes():
+    """The fig9 tiny cell (volrend, 4 threads, scale 0.5) plans nothing.
+
+    A clean report must produce an empty plan, and applying the empty
+    plan must leave the run untouched: the workload still verifies.
+    """
+    from repro.common.params import intra_block_machine
+    from repro.core.config import INTRA_CONFIGS
+    from repro.core.machine import Machine
+    from repro.workloads import MODEL_ONE
+
+    base = next(c for c in INTRA_CONFIGS if c.name == "Base")
+    machine = Machine(intra_block_machine(4), base, num_threads=4)
+    workload = MODEL_ONE["volrend"](scale=0.5)
+    workload.prepare(machine)
+    report = lint_machine(machine, name="volrend", config=base.name)
+    assert report.clean, report.render()
+    plan = plan_fixes(report, machine)
+    assert plan == {}
+    fresh = Machine(intra_block_machine(4), base, num_threads=4)
+    workload.prepare(fresh)
+    assert apply_fixes(fresh, plan) == 0
+    fresh.run()
+    workload.verify(fresh)
+
+
+def test_coalesce_merges_adjacent_words():
+    assert coalesce({8, 4, 0}) == [(0, 12)]
+    assert coalesce({0, 8}) == [(0, 4), (8, 4)]
+    assert coalesce(set()) == []
+
+
+def test_coalesce_collapses_excessive_ranges():
+    """Too many disjoint runs collapse into one covering range."""
+    words = {i * 8 for i in range(MAX_RANGES_PER_HINT + 4)}
+    runs = coalesce(words)
+    assert runs == [(0, max(words) + 4)]
+
+
+def test_render_plan_empty():
+    assert render_plan({}) == "no fixes to apply"

@@ -1,0 +1,94 @@
+"""Unit tests for the happens-before pass (extract -> clocks -> edges)."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_hb, extract
+from repro.common.params import intra_block_machine
+from repro.core.config import INTRA_BASE
+from repro.core.machine import Machine
+from repro.isa import ops as isa
+
+from tests.analysis.helpers import litmus_machine
+
+
+def _hb_for(name: str):
+    return analyze_hb(extract(litmus_machine(name)))
+
+
+def _machine(nthreads=2):
+    return Machine(
+        intra_block_machine(4), INTRA_BASE, num_threads=nthreads
+    )
+
+
+def test_flag_edge_is_ordered():
+    hb = _hb_for("mp_flag")
+    rw = [e for e in hb.edges if e.kind == "rw"]
+    assert len(rw) == 1
+    assert rw[0].ordered
+    assert rw[0].write.tid == 0 and rw[0].sink.tid == 1
+
+
+def test_barrier_round_joins_all_members_atomically():
+    """Every post-barrier read is ordered after the pre-barrier write.
+
+    The barrier round is recorded member-by-member in the stream; a naive
+    sequential join would leave later-arriving members unordered with the
+    first member's next operations.
+    """
+    hb = _hb_for("mp_barrier")
+    assert hb.edges, "expected cross-thread edges"
+    assert all(e.ordered for e in hb.edges)
+
+
+def test_lock_chain_orders_counter_updates():
+    hb = _hb_for("lock_counter")
+    assert all(e.ordered for e in hb.edges)
+    assert {e.kind for e in hb.edges} == {"rw", "ww"}
+
+
+def test_unsynchronized_edge_is_unordered():
+    hb = _hb_for("missing_annotations")
+    assert any(not e.ordered for e in hb.edges)
+
+
+def test_silent_same_value_writes_create_no_ww_edge():
+    """Concurrent writes of the same value are not a lost-update hazard."""
+    machine = _machine()
+    arr = machine.array("a", 2)
+
+    def writer(ctx):
+        yield isa.Write(arr.addr(0), 7)   # same value as the peer
+        yield isa.Write(arr.addr(1), ctx.tid)  # different values
+
+    machine.spawn(writer)
+    machine.spawn(writer)
+    hb = analyze_hb(extract(machine))
+    ww_words = {e.word for e in hb.edges if e.kind == "ww"}
+    assert arr.addr(0) not in ww_words
+    assert arr.addr(1) in ww_words
+
+
+def test_shared_words_tracks_multi_writer_words():
+    machine = _machine()
+    arr = machine.array("a", 2)
+
+    def writer(ctx):
+        yield isa.Write(arr.addr(0), ctx.tid)  # both threads write word 0
+        yield isa.Write(arr.addr(1 if ctx.tid else 0), 5)
+
+    machine.spawn(writer)
+    machine.spawn(writer)
+    hb = analyze_hb(extract(machine))
+    assert arr.addr(0) in hb.shared_words
+    assert arr.addr(1) not in hb.shared_words  # single writer only
+
+
+def test_inv_events_snapshot_vector_clocks():
+    hb = _hb_for("mp_barrier")
+    for per_thread in hb.inv_events:
+        for ev in per_thread:
+            assert ev.vc is not None
+    for per_thread in hb.wb_events:
+        for ev in per_thread:
+            assert ev.vc is None

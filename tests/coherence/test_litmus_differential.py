@@ -1,11 +1,8 @@
 """Differential litmus tests: incoherent + annotations vs directory MESI.
 
-Each litmus program is a small hand-written multithreaded kernel in one of
-the paper's synchronization idioms (message passing over a flag, store
-buffering across a barrier, producer–consumer chains, lock-protected
-updates, Figure-6b annotated data races, false sharing within one line).
-Every program is *determinate*: all inter-thread communication is ordered
-by synchronization, so its observed values and final memory are unique.
+The kernels themselves live in the :mod:`repro.workloads.litmus` registry
+(shared with the static analyzer — see ``tests/analysis`` for the
+cross-validation that both harnesses agree on every kernel).
 
 The differential harness runs the same program under every Table II
 configuration of its machine model — hardware MESI (`HCC`) and the
@@ -14,51 +11,48 @@ software-coherent configurations (`Base`, `B+M`, `B+I`, `B+M+I` intra;
 final main memory agree bit-for-bit across all of them.  A divergence
 means the incoherent protocol (or the annotation algorithm) lost an
 update or served a stale line that hardware coherence would have caught.
+
+Correct kernels (``determinate=True``) must agree everywhere; the
+deliberately broken kernels (missing WB/INV annotations) must make the
+harness *diverge* — proof the differential methodology actually detects
+under-annotation rather than vacuously passing.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.common.params import (
-    WORD_BYTES,
-    inter_block_machine,
-    intra_block_machine,
-)
-from repro.core.config import INTER_CONFIGS, INTRA_CONFIGS, InterMode
+from repro.core.config import INTER_CONFIGS, INTRA_CONFIGS
 from repro.core.machine import Machine
-from repro.isa import ops as isa
+from repro.workloads.litmus import (
+    LITMUS,
+    LitmusKernel,
+    machine_params,
+    spawn_litmus,
+)
 
-#: (config list, machine factory, thread count) per machine model.
-INTRA = (INTRA_CONFIGS, lambda: intra_block_machine(4), 4)
-INTER = (INTER_CONFIGS, lambda: inter_block_machine(2, 2), 4)
+
+def _configs(kernel: LitmusKernel):
+    return INTER_CONFIGS if kernel.model == "inter" else INTRA_CONFIGS
 
 
-def run_litmus(config, params_factory, programs, arrays):
-    """Run one litmus program under one configuration.
+def run_litmus(kernel: LitmusKernel, config):
+    """Run one litmus kernel under one configuration.
 
-    ``programs`` maps one generator function per thread (spawn order =
-    tid); each receives ``(ctx, arrs, obs)`` where ``obs`` is a shared
-    dict the program records observed values into.  Returns
-    ``(observations, final memory per array)``.
+    Returns ``(observations, final memory per array)``.
     """
-    machine = Machine(params_factory(), config, num_threads=len(programs))
-    arrs = {name: machine.array(name, size) for name, size in arrays.items()}
-    obs: dict = {}
-    for program in programs:
-        machine.spawn(lambda ctx, p=program: p(ctx, arrs, obs))
+    machine = Machine(machine_params(kernel), config,
+                      num_threads=kernel.threads)
+    arrs, obs = spawn_litmus(kernel, machine)
     machine.run()
     mem = {name: machine.read_array(arr) for name, arr in arrs.items()}
     return obs, mem
 
 
-def differential(model, programs, arrays):
-    """Assert observations + memory agree across all of *model*'s configs."""
-    configs, params_factory, _ = model
-    outcomes = {
-        cfg.name: run_litmus(cfg, params_factory, programs, arrays)
-        for cfg in configs
-    }
+def differential(kernel: LitmusKernel):
+    """Assert observations + memory agree across all of the model's configs."""
+    configs = _configs(kernel)
+    outcomes = {cfg.name: run_litmus(kernel, cfg) for cfg in configs}
     baseline_name = configs[0].name  # HCC in both models
     base_obs, base_mem = outcomes[baseline_name]
     for name, (obs, mem) in outcomes.items():
@@ -72,372 +66,25 @@ def differential(model, programs, arrays):
     return base_obs, base_mem
 
 
-def idle(ctx, arrs, obs):
-    """A thread that only meets the global barrier(s) it must attend."""
-    yield from ctx.barrier()
+_DETERMINATE = sorted(k.name for k in LITMUS.values() if k.determinate)
+_BROKEN = sorted(k.name for k in LITMUS.values() if not k.determinate)
 
 
-# On the inter-block machine, communication must cross the L2s: the Model-2
-# compiler lowers producer-side write-backs to WB_ALL_L3 / WB_L3 / WB_CONS
-# and consumer-side invalidations to INV_ALL_L2 / INV_L2 / INV_PROD
-# depending on the Table II mode (see repro.compiler.executor).  These two
-# helpers apply the same lowering to hand-written litmus programs.
+@pytest.mark.parametrize("name", _DETERMINATE)
+def test_litmus_determinate(name):
+    """Correct kernels agree bit-for-bit across every configuration."""
+    kernel = LITMUS[name]
+    obs, mem = differential(kernel)
+    if kernel.check is not None:
+        kernel.check(obs, mem)
 
 
-def wb_global(ctx, addr, length, cons_tid=None):
-    mode = ctx.machine.config.inter_mode
-    if mode == InterMode.BASE:
-        yield isa.WBAllL3()
-    elif mode == InterMode.ADDR or (
-        mode == InterMode.ADDR_LEVEL and cons_tid is None
-    ):
-        yield isa.WBL3(addr, length)
-    elif mode == InterMode.ADDR_LEVEL:
-        yield isa.WBCons(addr, length, cons_tid)
-    # HCC: hardware keeps the hierarchy coherent.
+@pytest.mark.parametrize("name", _BROKEN)
+def test_litmus_broken_diverges(name):
+    """Under-annotated kernels must make the differential harness object.
 
-
-def inv_global(ctx, addr, length, prod_tid=None):
-    mode = ctx.machine.config.inter_mode
-    if mode == InterMode.BASE:
-        yield isa.INVAllL2()
-    elif mode == InterMode.ADDR or (
-        mode == InterMode.ADDR_LEVEL and prod_tid is None
-    ):
-        yield isa.INVL2(addr, length)
-    elif mode == InterMode.ADDR_LEVEL:
-        yield isa.InvProd(addr, length, prod_tid)
-
-
-# -- message passing ---------------------------------------------------------
-
-
-def test_mp_flag():
-    """MP: producer stores then sets a flag; consumer waits then loads."""
-
-    def producer(ctx, arrs, obs):
-        yield from ctx.store(arrs["data"].addr(0), 42)
-        yield from ctx.flag_set(1)
-
-    def consumer(ctx, arrs, obs):
-        yield from ctx.flag_wait(1)
-        obs["got"] = yield from ctx.load(arrs["data"].addr(0))
-
-    obs, mem = differential(INTRA, [producer, consumer], {"data": 1})
-    assert obs == {"got": 42}
-    assert mem["data"] == [42]
-
-
-def test_mp_barrier():
-    """MP through a barrier; every other thread reads the same value."""
-
-    def program(ctx, arrs, obs):
-        if ctx.tid == 0:
-            yield from ctx.store(arrs["data"].addr(0), 7)
-        yield from ctx.barrier()
-        if ctx.tid != 0:
-            obs[ctx.tid] = yield from ctx.load(arrs["data"].addr(0))
-
-    obs, mem = differential(INTRA, [program] * 4, {"data": 1})
-    assert obs == {1: 7, 2: 7, 3: 7}
-    assert mem["data"] == [7]
-
-
-def test_mp_flag_inter_block():
-    """MP across blocks on the inter-block machine (all 4 configs).
-
-    tid 0 lives in block 0 and tid 3 in block 1 (2 cores per block), so the
-    handoff must cross the L2s; Addr+L exercises WB_CONS/INV_PROD with a
-    known peer.
+    This guards the methodology itself: if dropping the WB/INV from a
+    litmus kernel still passed, the whole suite would prove nothing.
     """
-
-    def producer(ctx, arrs, obs):
-        addr = arrs["data"].addr(0)
-        yield from ctx.store(addr, 99)
-        yield from wb_global(ctx, addr, WORD_BYTES, cons_tid=3)
-        yield isa.FlagSet(1, 1)
-
-    def consumer(ctx, arrs, obs):
-        addr = arrs["data"].addr(0)
-        yield isa.FlagWait(1, 1)
-        yield from inv_global(ctx, addr, WORD_BYTES, prod_tid=0)
-        obs[ctx.tid] = yield from ctx.load(addr)
-
-    def passive(ctx, arrs, obs):
-        return
-        yield  # pragma: no cover - makes this a generator
-
-    obs, mem = differential(
-        INTER, [producer, passive, passive, consumer], {"data": 1}
-    )
-    assert obs == {3: 99}
-    assert mem["data"] == [99]
-
-
-# -- store buffering ----------------------------------------------------------
-
-
-def test_store_buffering_barrier():
-    """SB: with a barrier between stores and loads, r0 = r1 = 1."""
-
-    def t0(ctx, arrs, obs):
-        yield from ctx.store(arrs["x"].addr(0), 1)
-        yield from ctx.barrier(count=2)
-        obs["r0"] = yield from ctx.load(arrs["y"].addr(0))
-
-    def t1(ctx, arrs, obs):
-        yield from ctx.store(arrs["y"].addr(0), 1)
-        yield from ctx.barrier(count=2)
-        obs["r1"] = yield from ctx.load(arrs["x"].addr(0))
-
-    obs, _ = differential(INTRA, [t0, t1], {"x": 1, "y": 1})
-    assert obs == {"r0": 1, "r1": 1}
-
-
-# -- producer/consumer chains ---------------------------------------------------
-
-
-def test_producer_consumer_chain_barrier():
-    """T0 produces a[], T1 maps a->b, T2 reads b — two barrier stages."""
-    n = 4
-
-    def t0(ctx, arrs, obs):
-        for i in range(n):
-            yield from ctx.store(arrs["a"].addr(i), 10 + i)
-        yield from ctx.barrier()
-        yield from ctx.barrier()
-
-    def t1(ctx, arrs, obs):
-        yield from ctx.barrier()
-        for i in range(n):
-            v = yield from ctx.load(arrs["a"].addr(i))
-            yield from ctx.store(arrs["b"].addr(i), v + 1)
-        yield from ctx.barrier()
-
-    def t2(ctx, arrs, obs):
-        yield from ctx.barrier()
-        yield from ctx.barrier()
-        obs["b"] = tuple(
-            (yield from ctx.load_many([arrs["b"].addr(i) for i in range(n)]))
-        )
-
-    def other(ctx, arrs, obs):
-        yield from ctx.barrier()
-        yield from ctx.barrier()
-
-    obs, mem = differential(INTRA, [t0, t1, t2, other], {"a": n, "b": n})
-    assert obs == {"b": (11, 12, 13, 14)}
-    assert mem["a"] == [10, 11, 12, 13]
-    assert mem["b"] == [11, 12, 13, 14]
-
-
-def test_flag_ping_pong():
-    """Two threads alternately increment a word, ordered by flag values."""
-    rounds = 3
-
-    def t0(ctx, arrs, obs):
-        addr = arrs["v"].addr(0)
-        yield from ctx.store(addr, 0)
-        yield from ctx.flag_set(0, 1)
-        for r in range(rounds):
-            yield from ctx.flag_wait(1, r + 1)
-            v = yield from ctx.load(addr)
-            yield from ctx.store(addr, v + 1)
-            yield from ctx.flag_set(0, r + 2)
-        obs["final0"] = yield from ctx.load(addr)
-
-    def t1(ctx, arrs, obs):
-        addr = arrs["v"].addr(0)
-        for r in range(rounds):
-            yield from ctx.flag_wait(0, r + 1)
-            v = yield from ctx.load(addr)
-            yield from ctx.store(addr, v + 1)
-            yield from ctx.flag_set(1, r + 1)
-
-    obs, mem = differential(INTRA, [t0, t1], {"v": 1})
-    assert obs == {"final0": 2 * rounds}
-    assert mem["v"] == [2 * rounds]
-
-
-# -- locks ---------------------------------------------------------------------
-
-
-def test_lock_counter():
-    """Classic lock-protected counter: N threads x K increments each."""
-    k = 3
-
-    def program(ctx, arrs, obs):
-        addr = arrs["counter"].addr(0)
-        for _ in range(k):
-            yield from ctx.lock_acquire(0)
-            v = yield from ctx.load(addr)
-            yield from ctx.store(addr, v + 1)
-            yield from ctx.lock_release(0)
-        yield from ctx.barrier()
-        obs[ctx.tid] = yield from ctx.load(addr)
-
-    obs, mem = differential(INTRA, [program] * 4, {"counter": 1})
-    assert obs == {tid: 4 * k for tid in range(4)}
-    assert mem["counter"] == [4 * k]
-
-
-def test_lock_handoff_no_occ():
-    """CS-only communication with ``occ=False`` (Figure 4d refinement)."""
-
-    def writer(ctx, arrs, obs):
-        yield from ctx.lock_acquire(5, occ=False)
-        yield from ctx.store(arrs["slot"].addr(0), 123)
-        yield from ctx.lock_release(5, occ=False)
-        yield from ctx.flag_set(2)
-
-    def reader(ctx, arrs, obs):
-        yield from ctx.flag_wait(2)
-        yield from ctx.lock_acquire(5, occ=False)
-        obs["slot"] = yield from ctx.load(arrs["slot"].addr(0))
-        yield from ctx.lock_release(5, occ=False)
-
-    obs, mem = differential(INTRA, [writer, reader], {"slot": 1})
-    assert obs == {"slot": 123}
-    assert mem["slot"] == [123]
-
-
-# -- annotated data races (Figure 6b) -------------------------------------------
-
-
-def test_racy_store_load():
-    """Racy store/load helpers, made determinate by an ordering flag."""
-
-    def writer(ctx, arrs, obs):
-        yield from ctx.racy_store(arrs["w"].addr(0), 5)
-        yield from ctx.flag_set(3, wb=())  # data already posted by the race WB
-
-    def reader(ctx, arrs, obs):
-        yield from ctx.flag_wait(3, inv=())  # rely on the racy-load INV alone
-        obs["w"] = yield from ctx.racy_load(arrs["w"].addr(0))
-
-    obs, mem = differential(INTRA, [writer, reader], {"w": 1})
-    assert obs == {"w": 5}
-    assert mem["w"] == [5]
-
-
-# -- range hints and multi-line handoff ------------------------------------------
-
-
-def test_multiline_handoff_range_hints():
-    """Producer hands a multi-line region over a barrier with wb=/inv= hints."""
-    n = 40  # spans 3 lines of 16 words
-
-    def producer(ctx, arrs, obs):
-        base = arrs["buf"].addr(0)
-        for i in range(n):
-            yield from ctx.store(arrs["buf"].addr(i), i * i)
-        yield from ctx.barrier(wb=[(base, n * WORD_BYTES)], inv=())
-
-    def consumer(ctx, arrs, obs):
-        base = arrs["buf"].addr(0)
-        yield from ctx.barrier(wb=(), inv=[(base, n * WORD_BYTES)])
-        vals = yield from ctx.load_many([arrs["buf"].addr(i) for i in range(n)])
-        obs[ctx.tid] = tuple(vals)
-
-    obs, mem = differential(
-        INTRA, [producer, consumer, idle, idle], {"buf": n}
-    )
-    expect = tuple(i * i for i in range(n))
-    assert obs == {1: expect}
-    assert mem["buf"] == list(expect)
-
-
-def test_false_sharing_one_line():
-    """Two writers share one cache line but touch disjoint words.
-
-    Per-word dirty bits must merge both updates on write-back; a full-line
-    write-back would lose one of them (the paper's Section III-B argument).
-    """
-
-    def program(ctx, arrs, obs):
-        if ctx.tid < 2:
-            yield from ctx.store(arrs["line"].addr(ctx.tid), 100 + ctx.tid)
-        yield from ctx.barrier()
-        other = 1 - ctx.tid
-        if ctx.tid < 2:
-            obs[ctx.tid] = yield from ctx.load(arrs["line"].addr(other))
-
-    obs, mem = differential(INTRA, [program] * 4, {"line": 2})
-    assert obs == {0: 101, 1: 100}
-    assert mem["line"] == [100, 101]
-
-
-def test_private_reuse_empty_hints():
-    """wb=()/inv=() declare no communication: private slots stay correct."""
-
-    def program(ctx, arrs, obs):
-        yield from ctx.store(arrs["priv"].addr(ctx.tid), ctx.tid * 11)
-        yield from ctx.barrier(wb=(), inv=())
-        obs[ctx.tid] = yield from ctx.load(arrs["priv"].addr(ctx.tid))
-
-    obs, mem = differential(INTRA, [program] * 4, {"priv": 4})
-    assert obs == {tid: tid * 11 for tid in range(4)}
-    assert mem["priv"] == [0, 11, 22, 33]
-
-
-# -- inter-block barrier reduction ----------------------------------------------
-
-
-def test_inter_block_barrier_reduction():
-    """All-threads sum reduction over two barrier phases, inter-block.
-
-    The gather has no single peer, so Addr+L falls back to the global
-    WB_L3/INV_L2 forms — the same fallback the compiler uses for
-    reductions and multi-consumer broadcasts.
-    """
-
-    def program(ctx, arrs, obs):
-        part = arrs["part"].addr(ctx.tid)
-        parts = arrs["part"].addr(0)
-        total_addr = arrs["sum"].addr(0)
-        n = ctx.nthreads
-        yield from ctx.store(part, ctx.tid + 1)
-        yield from wb_global(ctx, part, WORD_BYTES)
-        yield isa.Barrier(0, n)
-        if ctx.tid == 0:
-            yield from inv_global(ctx, parts, n * WORD_BYTES)
-            total = 0
-            for i in range(n):
-                total += yield from ctx.load(arrs["part"].addr(i))
-            yield from ctx.store(total_addr, total)
-            yield from wb_global(ctx, total_addr, WORD_BYTES)
-        yield isa.Barrier(1, n)
-        yield from inv_global(ctx, total_addr, WORD_BYTES)
-        obs[ctx.tid] = yield from ctx.load(total_addr)
-
-    obs, mem = differential(INTER, [program] * 4, {"part": 4, "sum": 1})
-    assert obs == {tid: 10 for tid in range(4)}
-    assert mem["sum"] == [10]
-
-
-# -- the harness itself ----------------------------------------------------------
-
-
-def test_differential_catches_missing_annotations():
-    """Sanity check: a program with *no* annotations must diverge.
-
-    Under `Base` (annotations on, but the program bypasses the helpers and
-    spins raw sync ops with no WB/INV) the consumer reads its stale cached
-    line, while MESI returns the fresh value — the harness must notice.
-    """
-    from repro.isa import ops as isa
-
-    def producer(ctx, arrs, obs):
-        addr = arrs["data"].addr(0)
-        _ = yield from ctx.load(addr)  # cache the line before writing
-        yield isa.Write(addr, 42)
-        yield isa.FlagSet(9, 1)  # no WB before the set
-
-    def consumer(ctx, arrs, obs):
-        addr = arrs["data"].addr(0)
-        _ = yield from ctx.load(addr)  # warm the stale line
-        yield isa.FlagWait(9, 1)  # no INV after the wait
-        obs["got"] = yield from ctx.load(addr)
-
     with pytest.raises(AssertionError):
-        differential(INTRA, [producer, consumer], {"data": 1})
+        differential(LITMUS[name])
