@@ -10,6 +10,8 @@ Usage (also via ``python -m repro``)::
     repro trace fft --config B+M+I --out t.jsonl   # traced replay of a cell
     repro lint --all-workloads              # static WB/INV annotation check
     repro lint missing_annotations --fix    # auto-insert + verify vs HCC
+    repro chaos --plans 100 --seed 7        # seeded fault-injection sweep
+    repro chaos --list-faults               # injectable fault catalog
 
 Figure sweeps fan out over ``--jobs`` worker processes (default: CPU count)
 and reuse verified results from the persistent cache under
@@ -419,6 +421,39 @@ def _run_fix(name: str, config, report, as_json: bool) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args) -> int:
+    """Seeded fault-injection sweep with degraded-mode verification."""
+    from repro.common.errors import ConfigError
+    from repro.common.rng import DEFAULT_SEED
+    from repro.faults.chaos import default_targets, run_chaos
+    from repro.faults.model import FAULT_CATALOG, FaultKind, random_plans
+    from repro.faults import report as frpt
+
+    if args.list_faults:
+        print("Fault kinds (repro.faults):")
+        for kind in FaultKind:
+            print(f"  {kind.value:22s}{FAULT_CATALOG[kind]}")
+        return 0
+    kinds = None
+    if args.faults:
+        try:
+            kinds = [FaultKind(k) for k in args.faults.split(",") if k]
+        except ValueError as exc:
+            raise ConfigError(
+                f"{exc} (see `repro chaos --list-faults`)"
+            ) from None
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    plans = random_plans(args.plans, seed=seed, kinds=kinds)
+    targets = default_targets(args.workload or None, scale=args.scale)
+    result = run_chaos(targets, plans, executor=_sweep_executor(args))
+    summary = frpt.summarize(result)
+    if args.json:
+        print(frpt.render_json(summary), end="")
+    else:
+        print(frpt.render_text(summary), end="")
+    return 0 if result.clean else 1
+
+
 def _cmd_table1(_args) -> int:
     print(rpt.render_table1())
     return 0
@@ -513,6 +548,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--metrics", metavar="PATH", default=None,
                       help="also write the metrics snapshot as JSON")
     p_tr.set_defaults(fn=_cmd_trace)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault injection with degraded-mode verification",
+        description=(
+            "Run timing-independent workloads (determinate litmus kernels, "
+            "lock-free SPLASH/NAS kernels, and a tiny-cache pressure "
+            "target) under N seeded fault plans, and verify every degraded "
+            "run's final memory bit-for-bit against the hardware-coherent "
+            "(HCC) reference.  Faults may only cost cycles, never change a "
+            "value: exit 1 on any divergence, 0 when clean, 2 on usage "
+            "errors.  See docs/RESILIENCE.md."
+        ),
+    )
+    p_chaos.add_argument(
+        "--workload", action="append", default=None, metavar="NAME",
+        help="chaos target (repeatable): a workload or litmus-kernel name, "
+        "'litmus' for every determinate kernel, or 'tiny' for the "
+        "small-cache pressure target (default: litmus + fft + lu_cont + "
+        "is + tiny)",
+    )
+    p_chaos.add_argument(
+        "--plans", type=int, default=10,
+        help="number of seeded random fault plans (default: 10)",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=None,
+        help="root seed for plan generation (default: the repo-wide seed); "
+        "the whole sweep reproduces from this one value",
+    )
+    p_chaos.add_argument(
+        "--faults", default=None, metavar="KIND,KIND",
+        help="restrict plans to these fault kinds "
+        "(see --list-faults; default: all kinds)",
+    )
+    p_chaos.add_argument("--scale", type=float, default=0.5)
+    p_chaos.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel sweep workers (default: CPU count; 1 = serial)",
+    )
+    p_chaos.add_argument(
+        "--no-cache", action="store_true",
+        help="always simulate; do not read or write the result cache",
+    )
+    p_chaos.add_argument(
+        "--clear-cache", action="store_true",
+        help="empty the result cache before running",
+    )
+    p_chaos.add_argument(
+        "--json", action="store_true",
+        help="emit the chaos report as JSON instead of text",
+    )
+    p_chaos.add_argument(
+        "--list-faults", action="store_true",
+        help="list the injectable fault kinds and exit",
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_t3 = sub.add_parser("table3", help="print the architecture table")
     p_t3.add_argument("--machine", choices=("intra", "inter"), default="inter")

@@ -32,6 +32,8 @@ class Hierarchy:
         self.stats = stats
         self.mesh = Mesh(machine)
         self.memory = MainMemory()
+        # Optional fault injector (repro.faults); None = no hook overhead.
+        self.faults = None
         self.line_bytes = machine.line_bytes
         self.words_per_line = machine.words_per_line
 
@@ -136,7 +138,12 @@ class Hierarchy:
         """Off-chip round trip from *core* via the nearest corner."""
         tile = self.mesh.core_tile(core)
         corner = self.mesh.nearest_mem_tile(tile)
-        return self.machine.mem_round_trip + 2 * self.mesh.latency(tile, corner)
+        lat = self.machine.mem_round_trip + 2 * self.mesh.latency(tile, corner)
+        if self.faults is not None:
+            # Delayed write-back propagation occupies the memory port; the
+            # accrued delay is charged to the next round trip.
+            lat += self.faults.take_mem_delay()
+        return lat
 
     def tag_walk_latency(self, cache: Cache) -> int:
         """Cost of walking a cache's tag array (WB ALL / INV ALL)."""

@@ -26,19 +26,28 @@ class IEB:
     def __init__(self, entries: int) -> None:
         self.capacity = entries
         self._addrs: OrderedDict[int, None] = OrderedDict()
+        # Lines refreshed at least once this epoch: a re-insert of one of
+        # these means its IEB entry was evicted and the read just paid a
+        # redundant re-invalidation (the Section IV-B.2 overflow cost).
+        self._seen: set[int] = set()
         self.armed = False
         # Counters for ablation studies.
         self.evictions = 0
         self.redundant_invalidations = 0
+        # Optional fault injector (repro.faults); None = no hook overhead.
+        self.faults = None
+        self.core = 0
 
     def begin_epoch(self) -> None:
         """Arm the IEB for a new epoch; starts empty."""
         self._addrs.clear()
+        self._seen.clear()
         self.armed = True
 
     def end_epoch(self) -> None:
         self.armed = False
         self._addrs.clear()
+        self._seen.clear()
 
     def contains(self, line_addr: int) -> bool:
         return line_addr in self._addrs
@@ -49,6 +58,19 @@ class IEB:
             return
         if self.capacity <= 0:
             return
+        if line_addr in self._seen:
+            self.redundant_invalidations += 1
+        else:
+            self._seen.add(line_addr)
+        if (
+            self.faults is not None
+            and self._addrs
+            and self.faults.ieb_displace(self.core)
+        ):
+            # Injected displacement: the evicted line's next read pays a
+            # redundant re-invalidation — correct but slower.
+            self._addrs.popitem(last=False)
+            self.evictions += 1
         if len(self._addrs) >= self.capacity:
             self._addrs.popitem(last=False)
             self.evictions += 1

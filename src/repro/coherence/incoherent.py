@@ -408,13 +408,19 @@ class IncoherentProtocol(Protocol):
         hier = self.hier
         l1 = hier.l1s[core]
         meb = self.mebs[core]
-        if via_meb and self.use_meb and meb.usable:
-            lines = [
-                line
-                for la in meb.line_ids()
-                if (line := l1.lookup(la, touch=False)) is not None
-            ]
-            return max(self._wb_lines(core, lines), hier.l1_latency())
+        if via_meb and self.use_meb:
+            if meb.usable:
+                lines = [
+                    line
+                    for la in meb.line_ids()
+                    if (line := l1.lookup(la, touch=False)) is not None
+                ]
+                return max(self._wb_lines(core, lines), hier.l1_latency())
+            # MEB overflowed (or was never armed): the conservative
+            # fallback — a full tag walk — is taken and counted.
+            self.stats.meb_wb_fallbacks += 1
+            if self.metrics is not None:
+                self.metrics.inc("proto.meb_wb_fallbacks")
         lat = hier.tag_walk_latency(l1)
         return lat + self._wb_lines(core, list(l1.dirty_lines()))
 

@@ -26,6 +26,9 @@ class MEB:
         # Counters for ablation studies.
         self.insertions = 0
         self.overflow_events = 0
+        # Optional fault injector (repro.faults); None = no hook overhead.
+        self.faults = None
+        self.core = 0
 
     def begin_epoch(self) -> None:
         """Arm recording; clears previous epoch's contents."""
@@ -42,12 +45,21 @@ class MEB:
             return
         if line_id in self._ids:
             return
+        if self.faults is not None and self.faults.meb_overflow(self.core):
+            self.force_overflow()
+            return
         if len(self._ids) >= self.capacity:
             self.overflowed = True
             self.overflow_events += 1
             return
         self._ids.add(line_id)
         self.insertions += 1
+
+    def force_overflow(self) -> None:
+        """Mark the epoch overflowed (capacity exhausted or injected fault)."""
+        if not self.overflowed:
+            self.overflowed = True
+            self.overflow_events += 1
 
     @property
     def usable(self) -> bool:

@@ -42,6 +42,8 @@ class ThreadMapTable:
             ThreadMap(b, set(placement.threads_in_block(b)))
             for b in range(machine.num_blocks)
         ]
+        # Optional fault injector (repro.faults); None = no hook overhead.
+        self.faults = None
 
     def for_block(self, block: int) -> ThreadMap:
         if not 0 <= block < len(self._maps):
@@ -50,5 +52,9 @@ class ThreadMapTable:
 
     def peer_is_local(self, my_core: int, peer_tid: int) -> bool:
         """Level-adaptive resolution: does *peer_tid* run in *my_core*'s block?"""
+        if self.faults is not None and self.faults.threadmap_displace(my_core):
+            # Displaced entry: answer conservatively — the global level is
+            # always correct, only slower (Section V-B).
+            return False
         block = self.placement.block_of_core(my_core)
         return self._maps[block].is_local(peer_tid)

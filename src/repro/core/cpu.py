@@ -82,6 +82,9 @@ class CPU:
         tracer = self.machine.tracer
         metrics = self.machine.metrics
         observing = tracer is not None or metrics is not None
+        # Fault injector: None when no plan is armed (one comparison on the
+        # WB/INV branch only; plain accesses are never wbuf-stalled).
+        faults = self.machine.faults
 
         while True:
             try:
@@ -124,6 +127,10 @@ class CPU:
                 if observing and tracer is not None:
                     tracer.cycle = engine.now + accumulated
                 lat, cat = self._wbinv(proto, op)
+                if faults is not None:
+                    # WB/INV drain through the write buffer (Section III-C);
+                    # an injected drain stall delays their retirement.
+                    lat += faults.wbuf_stall(core_id)
                 stats.add_stall(cat, lat)
                 accumulated += lat
                 if observing:

@@ -45,6 +45,7 @@ class Machine:
         detect_staleness: bool = False,
         tracer=None,
         metrics=None,
+        faults=None,
     ) -> None:
         self.params = params
         self.config = config
@@ -54,6 +55,11 @@ class Machine:
         #: neutrality test asserts bit-identical statistics either way.
         self.tracer = tracer
         self.metrics = metrics
+        #: Optional :class:`repro.faults.injector.FaultInjector`.  ``None``
+        #: (the default) means no fault plan is armed: every hook point is
+        #: a single pointer comparison and results are bit-identical to a
+        #: build without the fault subsystem (tests/faults/test_neutrality).
+        self.faults = faults
         if placement is None:
             placement = identity_placement(
                 params, num_threads if num_threads is not None else params.num_cores
@@ -88,6 +94,8 @@ class Machine:
             self.hier.mesh, self.engine, self.stats,
             tracer=tracer, metrics=metrics,
         )
+        if faults is not None:
+            faults.arm(self)
         self._cpus: list[CPU] = []
         self._ran = False
 
@@ -132,6 +140,16 @@ class Machine:
             cpu.start()
         self.stats.exec_time = self.engine.run(max_cycles=max_cycles)
         self.stats.frozen = True  # verification flush must not count traffic
+        if self.faults is not None:
+            # The timed run is over: verification-time flushes must neither
+            # fire faults nor advance any fault RNG stream.
+            self.faults.freeze()
+        buffers = self.buffer_stats()
+        self.stats.meb_overflow_events = buffers["meb_overflows"]
+        self.stats.ieb_evictions = buffers["ieb_evictions"]
+        self.stats.ieb_redundant_invalidations = buffers[
+            "ieb_redundant_invalidations"
+        ]
         if self.metrics is not None:
             # End-of-run gauges: the engine hook point plus headline totals,
             # recorded here so the event loop itself stays uninstrumented.

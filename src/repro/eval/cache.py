@@ -7,13 +7,14 @@ across sessions.  This module stores one JSON file per cell under a cache
 root, keyed by a stable SHA-256 hash of the *complete* cell identity:
 
 * cache schema version and ``repro.__version__``,
-* sweep kind (``intra`` / ``inter``), application name,
+* sweep kind (``intra`` / ``inter`` / ``litmus``), application name,
 * every field of the :class:`~repro.core.config.ExperimentConfig`,
 * the **resolved** :class:`~repro.common.params.MachineParams` (defaults are
   expanded, so passing ``machine_params=None`` and passing the equivalent
   explicit machine hash identically),
 * thread/block geometry (``num_threads`` or ``num_blocks`` ×
   ``cores_per_block``), workload ``scale``, and the ``verify`` flag,
+* the digest of the armed fault plan (``None`` for fault-free runs),
 * any extra runner keyword arguments (by repr).
 
 Changing any of those fields — or bumping the package version — invalidates
@@ -43,7 +44,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel → cache)
     from repro.eval.parallel import SweepCell
 
 #: Bump when the on-disk payload layout changes; invalidates old entries.
-CACHE_SCHEMA = 1
+#: 2: litmus cells, fault_plan digest, MEB/IEB counters in MachineStats.
+CACHE_SCHEMA = 2
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -62,6 +64,7 @@ def describe_cell(cell: "SweepCell") -> dict:
     """
     kwargs = dict(cell.kwargs)
     machine = kwargs.pop("machine_params", None)
+    plan = kwargs.pop("faults", None)
     if cell.kind == "intra":
         num_threads = kwargs.pop("num_threads", 16)
         params = machine or intra_block_machine(num_threads)
@@ -71,6 +74,12 @@ def describe_cell(cell: "SweepCell") -> dict:
         cores_per_block = kwargs.pop("cores_per_block", 8)
         params = machine or inter_block_machine(num_blocks, cores_per_block)
         geometry = {"num_blocks": num_blocks, "cores_per_block": cores_per_block}
+    elif cell.kind == "litmus":
+        from repro.workloads.litmus import LITMUS, machine_params
+
+        kernel = LITMUS[cell.app]
+        params = machine or machine_params(kernel)
+        geometry = {"model": kernel.model, "num_threads": kernel.threads}
     else:
         raise ValueError(f"unknown sweep kind {cell.kind!r}")
     return {
@@ -83,6 +92,9 @@ def describe_cell(cell: "SweepCell") -> dict:
         "geometry": geometry,
         "scale": kwargs.pop("scale", 1.0),
         "verify": kwargs.pop("verify", True),
+        # The armed fault plan changes every timing statistic, so its digest
+        # (which covers the plan seed and every spec) is part of the key.
+        "fault_plan": plan.digest() if plan is not None else None,
         "extra": {k: repr(v) for k, v in sorted(kwargs.items())},
     }
 

@@ -33,7 +33,7 @@ from typing import Any, Sequence
 from repro.common.errors import ConfigError, SweepError
 from repro.core.config import ExperimentConfig
 from repro.eval.cache import ResultCache
-from repro.eval.runner import RunResult, run_inter, run_intra
+from repro.eval.runner import RunResult, run_inter, run_intra, run_litmus
 
 
 @dataclass(frozen=True)
@@ -44,7 +44,7 @@ class SweepCell:
     is hashable, picklable, and has a canonical form for cache keying.
     """
 
-    kind: str  # "intra" | "inter"
+    kind: str  # "intra" | "inter" | "litmus"
     app: str
     config: ExperimentConfig
     kwargs: tuple[tuple[str, Any], ...] = ()
@@ -64,6 +64,8 @@ def _run_cell(cell: SweepCell) -> RunResult:
         return run_intra(cell.app, cell.config, **kwargs)
     if cell.kind == "inter":
         return run_inter(cell.app, cell.config, **kwargs)
+    if cell.kind == "litmus":
+        return run_litmus(cell.app, cell.config, **kwargs)
     raise ConfigError(f"unknown sweep kind {cell.kind!r}")
 
 

@@ -119,8 +119,18 @@ def render_fig9(results: dict[str, dict[str, RunResult]]) -> str:
 
 
 def render_fig10(results: dict[str, dict[str, RunResult]]) -> str:
-    """Figure 10: B+M+I traffic normalized to HCC, four-way breakdown."""
-    header = ["app", "norm"] + [c.value for c in TrafficCat]
+    """Figure 10: B+M+I traffic normalized to HCC, four-way breakdown.
+
+    The trailing columns surface the Section IV-B buffer-degradation
+    counters of the B+M+I run (MEB overflow epochs, WB-ALL tag-walk
+    fallbacks, IEB displacements): they explain *why* a workload's traffic
+    or WB cost moves when the fixed-size buffers are undersized for it.
+    """
+    header = (
+        ["app", "norm"]
+        + [c.value for c in TrafficCat]
+        + ["meb_ovf", "wb_fallb", "ieb_evict"]
+    )
     lines = ["  ".join(f"{h:>13s}" for h in header)]
     total_ratio = 0.0
     for app, per_cfg in results.items():
@@ -129,9 +139,15 @@ def render_fig10(results: dict[str, dict[str, RunResult]]) -> str:
         base = hcc.total_flits or 1
         norm = bmi.total_flits / base
         total_ratio += norm
-        cells = [f"{app:>13s}", f"{norm:13.3f}"] + [
-            f"{bmi.traffic[c] / base:13.3f}" for c in TrafficCat
-        ]
+        cells = (
+            [f"{app:>13s}", f"{norm:13.3f}"]
+            + [f"{bmi.traffic[c] / base:13.3f}" for c in TrafficCat]
+            + [
+                f"{bmi.meb_overflow_events:13d}",
+                f"{bmi.meb_wb_fallbacks:13d}",
+                f"{bmi.ieb_evictions:13d}",
+            ]
+        )
         lines.append("  ".join(cells))
     lines.append("-" * len(lines[0]))
     lines.append(

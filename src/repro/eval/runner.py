@@ -29,13 +29,18 @@ class RunResult:
     cache.  ``metrics`` is the optional JSON-safe
     :meth:`repro.obs.metrics.Metrics.snapshot` of an instrumented run; it
     round-trips through both paths bit-for-bit and stays ``None`` (and
-    absent from the dict form) for plain sweep runs.
+    absent from the dict form) for plain sweep runs.  ``faults`` is the
+    :meth:`repro.faults.injector.FaultInjector.snapshot` of a degraded run
+    and ``memory_digest`` the post-run main-memory fingerprint — both also
+    ``None``/absent unless requested.
     """
 
     app: str
     config: str
     stats: MachineStats
     metrics: dict | None = None
+    faults: dict | None = None
+    memory_digest: str | None = None
 
     @property
     def exec_time(self) -> int:
@@ -47,10 +52,14 @@ class RunResult:
         return self.stats.breakdown()
 
     def to_dict(self) -> dict:
-        """JSON-safe form; ``metrics`` is included only when present."""
+        """JSON-safe form; optional fields are included only when present."""
         d = {"app": self.app, "config": self.config, "stats": self.stats.to_dict()}
         if self.metrics is not None:
             d["metrics"] = self.metrics
+        if self.faults is not None:
+            d["faults"] = self.faults
+        if self.memory_digest is not None:
+            d["memory_digest"] = self.memory_digest
         return d
 
     @classmethod
@@ -61,7 +70,40 @@ class RunResult:
             d["config"],
             MachineStats.from_dict(d["stats"]),
             d.get("metrics"),
+            d.get("faults"),
+            d.get("memory_digest"),
         )
+
+
+def _make_injector(faults):
+    """Build a FaultInjector for *faults* (a FaultPlan), or pass None through."""
+    if faults is None:
+        return None
+    from repro.faults.injector import FaultInjector
+
+    return FaultInjector(faults)
+
+
+def _finish_result(
+    app: str,
+    config: ExperimentConfig,
+    machine: Machine,
+    stats: MachineStats,
+    metrics,
+    injector,
+    memory_digest: bool,
+) -> RunResult:
+    """Assemble a :class:`RunResult`, attaching the optional extras."""
+    from repro.mem.memory import image_digest
+
+    return RunResult(
+        app,
+        config.name,
+        stats,
+        metrics.snapshot() if metrics is not None else None,
+        injector.snapshot() if injector is not None else None,
+        image_digest(machine.hier.memory.image()) if memory_digest else None,
+    )
 
 
 def run_intra(
@@ -74,18 +116,25 @@ def run_intra(
     verify: bool = True,
     tracer=None,
     metrics=None,
+    faults=None,
+    memory_digest: bool = False,
 ) -> RunResult:
     """Run a Model-1 (SPLASH) workload on the intra-block machine.
 
     ``tracer``/``metrics`` attach :mod:`repro.obs` sinks to the machine;
     both are bit-identical-neutral and the metrics snapshot rides along in
-    the returned :class:`RunResult`.
+    the returned :class:`RunResult`.  ``faults`` arms a
+    :class:`repro.faults.model.FaultPlan` for the run (degraded timing,
+    identical values); ``memory_digest=True`` fingerprints main memory
+    after the run so chaos harnesses can compare images across runs.
     """
     if app not in MODEL_ONE:
         raise ConfigError(f"unknown Model-1 workload {app!r}")
     params = machine_params or intra_block_machine(num_threads)
+    injector = _make_injector(faults)
     machine = Machine(
-        params, config, num_threads=num_threads, tracer=tracer, metrics=metrics
+        params, config, num_threads=num_threads, tracer=tracer, metrics=metrics,
+        faults=injector,
     )
     workload = MODEL_ONE[app](scale=scale)
     if verify:
@@ -93,8 +142,7 @@ def run_intra(
     else:
         workload.prepare(machine)
         stats = machine.run()
-    snapshot = metrics.snapshot() if metrics is not None else None
-    return RunResult(app, config.name, stats, snapshot)
+    return _finish_result(app, config, machine, stats, metrics, injector, memory_digest)
 
 
 def run_inter(
@@ -108,17 +156,21 @@ def run_inter(
     verify: bool = True,
     tracer=None,
     metrics=None,
+    faults=None,
+    memory_digest: bool = False,
 ) -> RunResult:
     """Run a Model-2 (NAS/Jacobi) workload on the inter-block machine.
 
-    ``tracer``/``metrics`` attach :mod:`repro.obs` sinks, as in
+    ``tracer``/``metrics``/``faults``/``memory_digest`` behave as in
     :func:`run_intra`.
     """
     if app not in MODEL_TWO:
         raise ConfigError(f"unknown Model-2 workload {app!r}")
     params = machine_params or inter_block_machine(num_blocks, cores_per_block)
+    injector = _make_injector(faults)
     machine = Machine(
-        params, config, num_threads=params.num_cores, tracer=tracer, metrics=metrics
+        params, config, num_threads=params.num_cores, tracer=tracer, metrics=metrics,
+        faults=injector,
     )
     workload = MODEL_TWO[app](scale=scale)
     if verify:
@@ -127,8 +179,45 @@ def run_inter(
         runner = workload.make_runner(machine)
         runner.spawn_all()
         stats = machine.run()
-    snapshot = metrics.snapshot() if metrics is not None else None
-    return RunResult(app, config.name, stats, snapshot)
+    return _finish_result(app, config, machine, stats, metrics, injector, memory_digest)
+
+
+def run_litmus(
+    name: str,
+    config: ExperimentConfig,
+    *,
+    verify: bool = True,
+    tracer=None,
+    metrics=None,
+    faults=None,
+    memory_digest: bool = False,
+) -> RunResult:
+    """Run one litmus kernel (``repro.workloads.litmus``) as a sweep cell.
+
+    Litmus kernels are tiny targeted programs with self-checking oracles;
+    running them through the same RunResult/sweep machinery as the big
+    workloads lets the chaos harness fan them out and digest-compare their
+    memory images.  ``verify`` applies the kernel's oracle — only for
+    determinate kernels (broken kernels intentionally fail theirs; the
+    chaos runner detects those through digest divergence instead).
+    """
+    from repro.workloads.litmus import LITMUS, machine_params, spawn_litmus
+
+    if name not in LITMUS:
+        raise ConfigError(f"unknown litmus kernel {name!r}")
+    kernel = LITMUS[name]
+    params = machine_params(kernel)
+    injector = _make_injector(faults)
+    machine = Machine(
+        params, config, num_threads=kernel.threads, tracer=tracer, metrics=metrics,
+        faults=injector,
+    )
+    arrs, obs = spawn_litmus(kernel, machine)
+    stats = machine.run()
+    if verify and kernel.determinate and kernel.check is not None:
+        mem = {n: machine.read_array(a) for n, a in arrs.items()}
+        kernel.check(obs, mem)
+    return _finish_result(name, config, machine, stats, metrics, injector, memory_digest)
 
 
 def sweep_intra(

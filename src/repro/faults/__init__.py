@@ -1,0 +1,42 @@
+"""Fault injection and resilience verification (``repro.faults``).
+
+The paper's safety argument (Sections IV-V) is that the incoherent
+hierarchy is allowed to *degrade* but never to *corrupt*: a full MEB or
+IEB falls back to the conservative tag-walk path, ThreadMap entries may be
+displaced to the always-correct global level, and write-backs may be
+arbitrarily delayed — correctness must survive all of it, only timing may
+suffer.  This package makes that argument testable:
+
+* :mod:`repro.faults.model` — declarative, seeded :class:`FaultSpec` /
+  :class:`FaultPlan` descriptions (every plan reproducible from one seed);
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` that arms a
+  plan onto a machine through zero-overhead hooks (``None`` when disabled,
+  mirroring the ``obs`` neutrality design);
+* :mod:`repro.faults.chaos` — the chaos runner: N seeded plans per target,
+  final memory verified value-for-value against the fault-free HCC
+  reference;
+* :mod:`repro.faults.report` — degradation reports (p50/p99 slowdown,
+  per-kind fault attribution) in text and JSON.
+
+``chaos``/``report`` import the evaluation layer, so they are *not*
+re-exported here — import them explicitly.  This keeps
+``repro.eval.runner`` free to import the model/injector without a cycle.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    FAULT_CATALOG,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    random_plans,
+)
+
+__all__ = [
+    "FAULT_CATALOG",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "random_plans",
+]

@@ -1,0 +1,224 @@
+"""Hook-based fault injector: arms a :class:`FaultPlan` onto one machine.
+
+Wiring mirrors the ``obs`` neutrality design exactly: every component that
+can host a fault carries a ``faults`` attribute defaulting to ``None`` and
+guards its single hook with one ``is not None`` check —
+
+* :class:`~repro.coherence.meb.MEB`  ``record_write`` -> forced overflow,
+* :class:`~repro.coherence.ieb.IEB`  ``insert`` -> forced FIFO displacement,
+* :class:`~repro.coherence.threadmap.ThreadMapTable`  ``peer_is_local`` ->
+  entry displacement (conservative global path),
+* :class:`~repro.core.cpu.CPU` WB/INV dispatch and the
+  :class:`~repro.isa.writebuffer.WriteBuffer` drain model -> drain stalls,
+* :class:`~repro.noc.mesh.Mesh`  ``latency`` -> per-message jitter and
+  transient link-down reroute,
+* :class:`~repro.mem.memory.MainMemory`  ``write_line_words`` ->
+  delayed write-back propagation, charged on the next
+  :meth:`~repro.coherence.hierarchy.Hierarchy.mem_latency` round trip.
+
+A run with no injector armed therefore pays one pointer comparison per
+hook point and is bit-identical to a pre-fault-subsystem build (enforced
+by ``tests/faults/test_neutrality.py`` against golden statistics).
+
+Determinism: each armed kind draws from its own
+:func:`~repro.common.rng.make_rng` stream seeded by ``(plan digest, kind,
+plan seed)``, so kinds never perturb each other's schedules and a plan
+replays identically.  After the timed portion of a run the machine calls
+:meth:`FaultInjector.freeze` — verification-time cache flushes neither
+fire faults nor advance any stream.
+"""
+
+from __future__ import annotations
+
+from repro.faults.model import FaultKind, FaultPlan
+from repro.common.rng import make_rng
+
+
+class _KindState:
+    """Counters plus the private RNG stream of one armed fault kind."""
+
+    __slots__ = ("spec", "rng", "opportunities", "fires", "extra_cycles")
+
+    def __init__(self, spec, rng) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.opportunities = 0
+        self.fires = 0
+        self.extra_cycles = 0
+
+
+class FaultInjector:
+    """Seeded, per-kind fault scheduler wired into a machine's hook points."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.frozen = False
+        #: Observability sinks, adopted from the machine at arm time so
+        #: fault events ride the same Tracer/Metrics as everything else.
+        self.tracer = None
+        self.metrics = None
+        self._pending_mem_delay = 0
+        digest = plan.digest()
+        self._states: dict[FaultKind, _KindState] = {
+            spec.kind: _KindState(
+                spec, make_rng(f"faults.{spec.kind.value}:{digest}", plan.seed)
+            )
+            for spec in plan.specs
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def arm(self, machine) -> None:
+        """Attach this injector to every hook point of *machine*."""
+        self.tracer = machine.tracer
+        self.metrics = machine.metrics
+        proto = machine.protocol
+        for core, meb in enumerate(getattr(proto, "mebs", [])):
+            meb.faults = self
+            meb.core = core
+        for core, ieb in enumerate(getattr(proto, "iebs", [])):
+            ieb.faults = self
+            ieb.core = core
+        threadmap = getattr(proto, "threadmap", None)
+        if threadmap is not None:
+            threadmap.faults = self
+        machine.hier.mesh.faults = self
+        machine.hier.memory.faults = self
+        machine.hier.faults = self
+
+    def freeze(self) -> None:
+        """Disable every hook (end of timed run); counters stop moving."""
+        self.frozen = True
+        self._pending_mem_delay = 0
+
+    # -- core scheduling ----------------------------------------------------
+
+    def _roll(self, kind: FaultKind, core: int | None = None):
+        """One opportunity for *kind*; returns its state if it fires."""
+        state = self._states.get(kind)
+        if state is None or self.frozen:
+            return None
+        spec = state.spec
+        if core is not None and spec.cores is not None and core not in spec.cores:
+            return None
+        index = state.opportunities
+        state.opportunities += 1
+        if spec.window is not None and not (
+            spec.window[0] <= index < spec.window[1]
+        ):
+            return None
+        if state.rng.random() >= spec.rate:
+            return None
+        state.fires += 1
+        return state
+
+    def _record(self, kind: FaultKind, core: int | None, extra: int) -> None:
+        """Account *extra* cycles and report the firing to obs sinks."""
+        if extra:
+            self._states[kind].extra_cycles += extra
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fault", core if core is not None else 0,
+                op=kind.value, lat=extra,
+            )
+        if self.metrics is not None:
+            self.metrics.inc(f"faults.{kind.value}")
+            if extra:
+                self.metrics.inc(f"faults.{kind.value}.cycles", extra)
+
+    def _draw(self, state) -> int:
+        """Cycles for one timing-fault firing: uniform in [1, magnitude]."""
+        return int(state.rng.integers(1, state.spec.magnitude + 1))
+
+    # -- hook points (one per fault kind) -----------------------------------
+
+    def meb_overflow(self, core: int) -> bool:
+        """Should this MEB write record force an overflow?"""
+        state = self._roll(FaultKind.MEB_OVERFLOW, core)
+        if state is None:
+            return False
+        self._record(FaultKind.MEB_OVERFLOW, core, 0)
+        return True
+
+    def ieb_displace(self, core: int) -> bool:
+        """Should this IEB insert displace the oldest entry first?"""
+        state = self._roll(FaultKind.IEB_DISPLACE, core)
+        if state is None:
+            return False
+        self._record(FaultKind.IEB_DISPLACE, core, 0)
+        return True
+
+    def threadmap_displace(self, core: int) -> bool:
+        """Should this ThreadMap lookup miss (forcing the global path)?"""
+        state = self._roll(FaultKind.THREADMAP_DISPLACE, core)
+        if state is None:
+            return False
+        self._record(FaultKind.THREADMAP_DISPLACE, core, 0)
+        return True
+
+    def wbuf_stall(self, core: int | None = None) -> int:
+        """Extra drain-stall cycles for one WB/INV retirement (0 = none)."""
+        state = self._roll(FaultKind.WBUF_STALL, core)
+        if state is None:
+            return 0
+        extra = self._draw(state)
+        self._record(FaultKind.WBUF_STALL, core, extra)
+        return extra
+
+    def noc_delay(self, hops: int, cycles_per_hop: int) -> int:
+        """Extra cycles for one mesh message (jitter and/or link-down)."""
+        extra = 0
+        state = self._roll(FaultKind.NOC_JITTER)
+        if state is not None:
+            jitter = self._draw(state)
+            self._record(FaultKind.NOC_JITTER, None, jitter)
+            extra += jitter
+        state = self._roll(FaultKind.NOC_LINK_DOWN)
+        if state is not None:
+            # Reroute around the downed link: the minimal detour on a 2D
+            # mesh is two extra hops.
+            detour = 2 * cycles_per_hop
+            self._record(FaultKind.NOC_LINK_DOWN, None, detour)
+            extra += detour
+        return extra
+
+    def mem_writeback(self) -> None:
+        """One write-back reached memory; maybe delay its propagation."""
+        state = self._roll(FaultKind.MEM_WB_DELAY)
+        if state is None:
+            return
+        extra = self._draw(state)
+        self._record(FaultKind.MEM_WB_DELAY, None, extra)
+        self._pending_mem_delay += extra
+
+    def take_mem_delay(self) -> int:
+        """Accrued propagation delay, charged on the next memory round trip."""
+        if self.frozen or not self._pending_mem_delay:
+            return 0
+        delay = self._pending_mem_delay
+        self._pending_mem_delay = 0
+        return delay
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def total_fires(self) -> int:
+        """Faults fired across all kinds so far."""
+        return sum(s.fires for s in self._states.values())
+
+    def snapshot(self) -> dict:
+        """JSON-safe per-kind accounting (rides in ``RunResult.faults``)."""
+        return {
+            "plan": self.plan.name,
+            "seed": self.plan.seed,
+            "digest": self.plan.digest(),
+            "total_fires": self.total_fires,
+            "kinds": {
+                kind.value: {
+                    "opportunities": s.opportunities,
+                    "fires": s.fires,
+                    "extra_cycles": s.extra_cycles,
+                }
+                for kind, s in self._states.items()
+            },
+        }

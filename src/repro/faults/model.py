@@ -1,0 +1,256 @@
+"""Declarative fault model: what to break, where, how often, from one seed.
+
+A :class:`FaultSpec` names one fault *kind* (the catalog below), a
+per-opportunity firing rate, a magnitude for the timing kinds, and optional
+trigger predicates (target cores, opportunity window).  A
+:class:`FaultPlan` bundles specs with a seed; the injector derives one
+independent RNG stream per kind from ``(plan digest, kind, seed)`` via
+:func:`repro.common.rng.make_rng`, so every schedule is exactly
+reproducible from the plan alone — same plan, same machine, same faults,
+cycle for cycle.
+
+Fault catalog (Sections IV-B and V of the paper; "structural" kinds force
+the architecture's own conservative fallbacks, "timing" kinds only stretch
+latencies):
+
+==================  ==========  =============================================
+kind                class       degraded behavior exercised
+==================  ==========  =============================================
+meb_overflow        structural  MEB marked overflowed -> WB ALL falls back to
+                                the full tag walk
+ieb_displace        structural  oldest IEB entry evicted -> next read pays a
+                                redundant re-invalidation
+threadmap_displace  structural  ThreadMap lookup misses -> WB_CONS/INV_PROD
+                                take the always-correct global path
+wbuf_stall          timing      write-buffer drain stall: WB/INV retirement
+                                delayed by up to *magnitude* cycles
+noc_jitter          timing      per-message mesh latency jitter of up to
+                                *magnitude* cycles
+noc_link_down       timing      transient link failure: the message reroutes
+                                around the downed link (+2 hops)
+mem_wb_delay        timing      delayed write-back propagation: the next
+                                memory round trip is held up to *magnitude*
+                                cycles
+==================  ==========  =============================================
+
+The invariant all of them must preserve: **faults may change timing, never
+values** (verified by :mod:`repro.faults.chaos` against the fault-free HCC
+reference).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DEFAULT_SEED, make_rng
+
+
+class FaultKind(str, Enum):
+    """One injectable fault class (see the module-level catalog)."""
+
+    MEB_OVERFLOW = "meb_overflow"
+    IEB_DISPLACE = "ieb_displace"
+    THREADMAP_DISPLACE = "threadmap_displace"
+    WBUF_STALL = "wbuf_stall"
+    NOC_JITTER = "noc_jitter"
+    NOC_LINK_DOWN = "noc_link_down"
+    MEM_WB_DELAY = "mem_wb_delay"
+
+
+#: Kinds that force a conservative architectural fallback (no extra cycles
+#: charged directly; the fallback path itself is slower).
+STRUCTURAL_KINDS = frozenset(
+    {FaultKind.MEB_OVERFLOW, FaultKind.IEB_DISPLACE, FaultKind.THREADMAP_DISPLACE}
+)
+
+#: Kinds that stretch latencies by a drawn number of cycles.
+TIMING_KINDS = frozenset(
+    {
+        FaultKind.WBUF_STALL,
+        FaultKind.NOC_JITTER,
+        FaultKind.NOC_LINK_DOWN,
+        FaultKind.MEM_WB_DELAY,
+    }
+)
+
+#: Human-readable catalog (``repro chaos --list-faults``).
+FAULT_CATALOG: dict[FaultKind, str] = {
+    FaultKind.MEB_OVERFLOW: (
+        "force a MEB overflow: WB ALL falls back to the full tag walk"
+    ),
+    FaultKind.IEB_DISPLACE: (
+        "evict the oldest IEB entry: the next read re-invalidates redundantly"
+    ),
+    FaultKind.THREADMAP_DISPLACE: (
+        "miss a ThreadMap lookup: WB_CONS/INV_PROD take the global path"
+    ),
+    FaultKind.WBUF_STALL: (
+        "stall the write-buffer drain: WB/INV retirement delayed by up to "
+        "`magnitude` cycles"
+    ),
+    FaultKind.NOC_JITTER: (
+        "jitter one mesh message by up to `magnitude` cycles"
+    ),
+    FaultKind.NOC_LINK_DOWN: (
+        "transient link failure: reroute around the downed link (+2 hops)"
+    ),
+    FaultKind.MEM_WB_DELAY: (
+        "delay write-back propagation: hold the next memory round trip by "
+        "up to `magnitude` cycles"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault kind with its trigger predicate.
+
+    ``rate`` is a per-opportunity Bernoulli probability (an *opportunity*
+    is one pass through the kind's hook: one MEB write record, one mesh
+    message, ...).  ``magnitude`` bounds the cycles drawn per firing for
+    the timing kinds (ignored by structural kinds).  ``cores`` restricts
+    firing to the listed core ids (``None`` = all cores); ``window``
+    restricts firing to opportunity indices ``start <= i < stop``
+    (``None`` = always eligible).
+    """
+
+    kind: FaultKind
+    rate: float = 0.05
+    magnitude: int = 8
+    cores: tuple[int, ...] | None = None
+    window: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            object.__setattr__(self, "kind", FaultKind(self.kind))
+        if not 0.0 < self.rate <= 1.0:
+            raise ConfigError(f"fault rate must be in (0, 1] (got {self.rate})")
+        if self.magnitude < 1:
+            raise ConfigError(f"fault magnitude must be >= 1 (got {self.magnitude})")
+        if self.cores is not None:
+            object.__setattr__(self, "cores", tuple(sorted(self.cores)))
+            if any(c < 0 for c in self.cores):
+                raise ConfigError("fault target cores must be >= 0")
+        if self.window is not None:
+            start, stop = self.window
+            if start < 0 or stop <= start:
+                raise ConfigError(f"bad fault window {self.window!r}")
+            object.__setattr__(self, "window", (int(start), int(stop)))
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; inverse of :meth:`from_dict`."""
+        return {
+            "kind": self.kind.value,
+            "rate": self.rate,
+            "magnitude": self.magnitude,
+            "cores": list(self.cores) if self.cores is not None else None,
+            "window": list(self.window) if self.window is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        """Rehydrate a spec dumped by :meth:`to_dict`."""
+        return cls(
+            kind=FaultKind(d["kind"]),
+            rate=d["rate"],
+            magnitude=d["magnitude"],
+            cores=tuple(d["cores"]) if d.get("cores") is not None else None,
+            window=tuple(d["window"]) if d.get("window") is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded bundle of fault specs — one reproducible schedule.
+
+    Plans are frozen, hashable, and picklable, so they ride through
+    :class:`~repro.eval.parallel.SweepCell` kwargs into worker processes,
+    and :meth:`digest` gives the stable content address the result cache
+    mixes into its key (chaos cells never collide with fault-free cells).
+    At most one spec per kind: the injector keys its RNG streams and
+    counters by kind.
+    """
+
+    name: str
+    seed: int = DEFAULT_SEED
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        kinds = [s.kind for s in self.specs]
+        if len(set(kinds)) != len(kinds):
+            raise ConfigError(f"plan {self.name!r} repeats a fault kind")
+
+    @property
+    def kinds(self) -> tuple[FaultKind, ...]:
+        """The fault kinds this plan arms, in spec order."""
+        return tuple(s.kind for s in self.specs)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "specs": [s.to_dict() for s in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        """Rehydrate a plan dumped by :meth:`to_dict`."""
+        return cls(
+            name=d["name"],
+            seed=d["seed"],
+            specs=tuple(FaultSpec.from_dict(s) for s in d["specs"]),
+        )
+
+    def digest(self) -> str:
+        """Stable SHA-256 hex content address of the full plan identity."""
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def random_plans(
+    n: int,
+    *,
+    seed: int = DEFAULT_SEED,
+    kinds: tuple[FaultKind, ...] | None = None,
+    name_prefix: str = "chaos",
+) -> tuple[FaultPlan, ...]:
+    """Generate *n* reproducible plans from one master seed.
+
+    Each plan arms a random subset of *kinds* (default: the whole catalog)
+    with rates drawn log-uniformly from [0.01, 0.3] and magnitudes from
+    [1, 32]; every plan gets its own derived seed.  The same
+    ``(n, seed, kinds)`` always yields the same plans.
+    """
+    if n < 1:
+        raise ConfigError(f"need at least one plan (got {n})")
+    pool = tuple(kinds) if kinds else tuple(FaultKind)
+    if not pool:
+        raise ConfigError("empty fault-kind pool")
+    rng = make_rng(f"faults.plans:{','.join(k.value for k in pool)}", seed)
+    plans = []
+    for i in range(n):
+        picked = [k for k in pool if rng.random() < 0.6]
+        if not picked:
+            picked = [pool[int(rng.integers(0, len(pool)))]]
+        specs = tuple(
+            FaultSpec(
+                kind=k,
+                rate=round(float(10.0 ** rng.uniform(-2.0, -0.52)), 6),
+                magnitude=int(rng.integers(1, 33)),
+            )
+            for k in picked
+        )
+        plans.append(
+            FaultPlan(
+                name=f"{name_prefix}-{i:03d}",
+                seed=int(rng.integers(0, 2**31)),
+                specs=specs,
+            )
+        )
+    return tuple(plans)

@@ -114,7 +114,7 @@ class WriteBuffer:
     local line) but must wait for a buffered INV to its address to drain.
     """
 
-    def __init__(self, capacity: int = 16, *, metrics=None) -> None:
+    def __init__(self, capacity: int = 16, *, metrics=None, faults=None) -> None:
         if capacity < 1:
             raise OrderingError("write buffer needs at least one entry")
         self.capacity = capacity
@@ -123,6 +123,12 @@ class WriteBuffer:
         #: attached, retires, drains, and blocked load bypasses are counted
         #: under ``wbuf.*``.
         self.metrics = metrics
+        #: Optional :class:`repro.faults.injector.FaultInjector`; when
+        #: armed, retirement and drain steps may suffer injected stalls,
+        #: accumulated in :attr:`stall_cycles` (ordering is unaffected —
+        #: a stalled drain is slower, never reordered).
+        self.faults = faults
+        self.stall_cycles = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -137,6 +143,8 @@ class WriteBuffer:
             raise OrderingError("loads do not enter the write buffer")
         if self.full:
             raise OrderingError("write buffer overflow — drain first")
+        if self.faults is not None:
+            self.stall_cycles += self.faults.wbuf_stall()
         self._entries.append(access)
         if self.metrics is not None:
             self.metrics.inc(f"wbuf.retired.{access.kind.value}")
@@ -158,6 +166,8 @@ class WriteBuffer:
         """Drain the oldest entry (global FIFO ⇒ per-address FIFO)."""
         if not self._entries:
             raise OrderingError("drain from empty write buffer")
+        if self.faults is not None:
+            self.stall_cycles += self.faults.wbuf_stall()
         if self.metrics is not None:
             self.metrics.inc("wbuf.drained")
         return self._entries.pop(0)

@@ -7,6 +7,8 @@ a large address space costs nothing until touched.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any
 
 from repro.common.params import WORD_BYTES
@@ -17,6 +19,8 @@ class MainMemory:
 
     def __init__(self) -> None:
         self._words: dict[int, Any] = {}
+        # Optional fault injector (repro.faults); None = no hook overhead.
+        self.faults = None
 
     def read_word(self, word_addr: int) -> Any:
         return self._words.get(word_addr, 0)
@@ -33,6 +37,8 @@ class MainMemory:
         self, line_addr: int, words_per_line: int, data: list[Any], mask: int
     ) -> None:
         """Merge the words of *data* selected by *mask* into memory."""
+        if self.faults is not None:
+            self.faults.mem_writeback()
         base = line_addr * words_per_line
         w = self._words
         i = 0
@@ -42,6 +48,22 @@ class MainMemory:
             mask >>= 1
             i += 1
 
+    def image(self) -> dict[int, Any]:
+        """Normalized final-memory image for value-equality comparison.
+
+        Words whose value equals 0 are dropped (an unwritten word reads as
+        0, so presence of an explicit zero is not observable), and numpy
+        scalars are unwrapped to plain Python values — two runs that read
+        back identical values produce identical images, regardless of
+        which protocol or timing produced them.
+        """
+        out: dict[int, Any] = {}
+        for addr, value in self._words.items():
+            v = value.item() if hasattr(value, "item") else value
+            if v != 0:
+                out[addr] = v
+        return out
+
     @staticmethod
     def word_addr(byte_addr: int) -> int:
         return byte_addr // WORD_BYTES
@@ -49,3 +71,19 @@ class MainMemory:
     @property
     def touched_words(self) -> int:
         return len(self._words)
+
+
+def image_digest(image: dict[int, Any]) -> str:
+    """Stable SHA-256 hex digest of a normalized memory image.
+
+    The chaos runner's value invariant: a faulted run and the fault-free
+    HCC reference must produce the same digest (faults change timing,
+    never values).  ``repr`` round-trips ints and floats exactly, so equal
+    digests mean word-for-word equal values.
+    """
+    blob = json.dumps(
+        {str(addr): repr(value) for addr, value in sorted(image.items())},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -37,6 +37,8 @@ class Mesh:
         self._l3_tiles = [
             corners[i % len(corners)] for i in range(machine.num_l3_banks)
         ]
+        # Optional fault injector (repro.faults); None = no hook overhead.
+        self.faults = None
 
     # -- tile coordinates ---------------------------------------------------
 
@@ -68,7 +70,13 @@ class Mesh:
 
     def latency(self, a: tuple[int, int], b: tuple[int, int]) -> int:
         """One-way network latency in cycles between two tiles."""
-        return self.hops_between(a, b) * self.params.cycles_per_hop
+        hops = self.hops_between(a, b)
+        lat = hops * self.params.cycles_per_hop
+        if self.faults is not None and hops:
+            # Same-tile messages traverse no link, so only hop-crossing
+            # messages are jitter/link-down opportunities.
+            lat += self.faults.noc_delay(hops, self.params.cycles_per_hop)
+        return lat
 
     def core_to_l2(self, core_id: int, bank: int) -> int:
         return self.latency(self.core_tile(core_id), self.l2_bank_tile(bank))

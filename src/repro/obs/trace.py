@@ -37,6 +37,7 @@ TRACE_KINDS = (
     "inv",
     "fill",
     "evict",
+    "fault",
     "sync",
     "epoch",
 )

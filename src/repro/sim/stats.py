@@ -97,6 +97,17 @@ class MachineStats:
     #: Directory protocol event counters (HCC runs).
     dir_invalidations: int = 0
     dir_forwards: int = 0
+    #: MEB/IEB degradation counters (Section IV-B), aggregated across cores
+    #: at end of run and incremented live for the WB-ALL fallback:
+    #: ``meb_overflow_events`` counts epochs whose MEB spilled,
+    #: ``meb_wb_fallbacks`` counts WB ALLs that wanted the MEB but had to
+    #: walk the full tag array, ``ieb_evictions`` counts FIFO displacements,
+    #: and ``ieb_redundant_invalidations`` counts the re-invalidations those
+    #: displacements later caused.  All zero under HCC.
+    meb_overflow_events: int = 0
+    meb_wb_fallbacks: int = 0
+    ieb_evictions: int = 0
+    ieb_redundant_invalidations: int = 0
     exec_time: int = 0
     #: When True, traffic accounting is suspended (set before the end-of-run
     #: cache flush so verification writebacks do not pollute Figure 10).

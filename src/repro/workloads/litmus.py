@@ -392,6 +392,53 @@ _register(LitmusKernel(
 ))
 
 
+_SWEEP_WORDS = 128  # 8 lines of 16 words: twice the 4-entry IEB capacity
+_SWEEP_ROUNDS = 2
+
+
+def _multiline_sweep_program(ctx, arrs, obs):
+    acc = arrs["acc"]
+    half = _SWEEP_WORDS // 2
+    for _ in range(_SWEEP_ROUNDS):
+        yield from ctx.lock_acquire(3)
+        # Pass 1: read every word.  8 distinct lines enter the 4-entry IEB
+        # in FIFO order, so the first 4 (the read-only half) get evicted.
+        for i in range(_SWEEP_WORDS):
+            yield from ctx.load(acc.addr(i))
+        # Pass 2: increment the second half (lines still IEB-resident).
+        for i in range(half, _SWEEP_WORDS):
+            v = yield from ctx.load(acc.addr(i))
+            yield from ctx.store(acc.addr(i), v + 1)
+        # Re-read the first (read-only, evicted) line: this load pays the
+        # redundant re-invalidation the Section IV-B.2 sizing argument
+        # trades against buffer area.
+        yield from ctx.load(acc.addr(0))
+        yield from ctx.lock_release(3)
+    yield from ctx.barrier()
+    obs[ctx.tid] = yield from ctx.load(acc.addr(_SWEEP_WORDS - 1))
+
+
+def _check_multiline_sweep(obs, mem):
+    want = 4 * _SWEEP_ROUNDS
+    half = _SWEEP_WORDS // 2
+    assert obs == {tid: want for tid in range(4)}
+    assert mem["acc"] == [0] * half + [want] * half
+
+
+_register(LitmusKernel(
+    name="lock_multiline_sweep",
+    model="intra",
+    threads=4,
+    arrays={"acc": _SWEEP_WORDS},
+    programs=(_multiline_sweep_program,) * 4,
+    doc="Lock-protected increment sweep over 8 lines: each critical "
+        "section reads twice the IEB's capacity, so the epoch exercises "
+        "IEB FIFO eviction and redundant re-invalidation (Section IV-B.2) "
+        "rather than fitting entirely in the buffer.",
+    check=_check_multiline_sweep,
+))
+
+
 def _handoff_writer(ctx, arrs, obs):
     yield from ctx.lock_acquire(5, occ=False)
     yield from ctx.store(arrs["slot"].addr(0), 123)

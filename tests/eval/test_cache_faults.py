@@ -1,0 +1,56 @@
+"""Cache keys must distinguish fault plans (and litmus cells)."""
+
+from repro.core.config import INTRA_BMI, INTRA_HCC
+from repro.eval.cache import CACHE_SCHEMA, cell_key, describe_cell
+from repro.eval.parallel import SweepCell
+from repro.faults.model import FaultKind, FaultPlan, FaultSpec
+
+
+def _cell(**kw):
+    return SweepCell.make("intra", "fft", INTRA_BMI, scale=0.5, **kw)
+
+
+def _plan(seed=1, rate=0.5):
+    return FaultPlan(
+        name="p", seed=seed,
+        specs=(FaultSpec(kind=FaultKind.NOC_JITTER, rate=rate),),
+    )
+
+
+def test_schema_bumped_for_fault_plans():
+    assert CACHE_SCHEMA == 2
+
+
+def test_fault_plan_changes_the_key():
+    assert cell_key(_cell(faults=_plan())) != cell_key(_cell())
+
+
+def test_different_plans_get_different_keys():
+    a = cell_key(_cell(faults=_plan(seed=1)))
+    b = cell_key(_cell(faults=_plan(seed=2)))
+    c = cell_key(_cell(faults=_plan(rate=0.25)))
+    assert len({a, b, c}) == 3
+
+
+def test_equal_plans_share_a_key():
+    assert cell_key(_cell(faults=_plan())) == cell_key(_cell(faults=_plan()))
+
+
+def test_describe_cell_records_the_plan_digest():
+    plan = _plan()
+    desc = describe_cell(_cell(faults=plan))
+    assert desc["fault_plan"] == plan.digest()
+    assert "faults" not in desc.get("kwargs", {})
+    assert describe_cell(_cell())["fault_plan"] is None
+
+
+def test_litmus_cells_are_cacheable():
+    cell = SweepCell.make("litmus", "mp_flag", INTRA_BMI, memory_digest=True)
+    desc = describe_cell(cell)
+    assert desc["geometry"] == {"model": "intra", "num_threads": 2}
+    assert cell_key(cell) != cell_key(
+        SweepCell.make("litmus", "mp_flag", INTRA_HCC, memory_digest=True)
+    )
+    assert cell_key(cell) != cell_key(
+        SweepCell.make("litmus", "mp_barrier", INTRA_BMI, memory_digest=True)
+    )

@@ -1,0 +1,115 @@
+"""Chaos runner: target resolution, digest verification, divergence path."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.config import INTRA_BMI, INTRA_HCC
+from repro.eval.parallel import SweepExecutor
+from repro.faults.chaos import (
+    ChaosTarget,
+    default_targets,
+    run_chaos,
+    tiny_pressure_machine,
+)
+from repro.faults.model import FaultKind, FaultPlan, FaultSpec, random_plans
+from repro.faults.report import percentile, render_json, render_text, summarize
+
+
+def test_default_targets_cover_both_models_and_pressure():
+    targets = default_targets()
+    kinds = {t.kind for t in targets}
+    assert kinds == {"litmus", "intra", "inter"}
+    apps = {t.app for t in targets}
+    # the paper workloads riding along with the litmus registry
+    assert {"fft", "lu_cont", "is"} <= apps
+    # only timing-independent kernels are valid chaos targets
+    from repro.workloads.litmus import LITMUS
+
+    for t in targets:
+        if t.kind == "litmus":
+            assert LITMUS[t.app].determinate
+
+
+def test_default_targets_tokens():
+    assert len(default_targets(["fft"])) == 1
+    assert default_targets(["mp_flag"])[0].kind == "litmus"
+    tiny = default_targets(["tiny"])[0]
+    kwargs = dict(tiny.kwargs)
+    assert kwargs["machine_params"] == tiny_pressure_machine()
+    with pytest.raises(ConfigError):
+        default_targets(["no_such_workload"])
+
+
+def test_chaos_clean_on_determinate_kernels():
+    targets = default_targets(["mp_flag", "lock_counter"])
+    plans = random_plans(2, seed=5)
+    result = run_chaos(targets, plans, executor=SweepExecutor(jobs=1))
+    assert result.clean
+    assert result.divergences == {}
+    for outcome in result.outcomes:
+        assert outcome.reference.memory_digest is not None
+        assert outcome.baseline.memory_digest == outcome.reference.memory_digest
+        assert len(outcome.runs) == len(plans)
+        for run in outcome.runs:
+            assert run.memory_digest == outcome.reference.memory_digest
+            assert run.faults is not None
+
+
+def test_chaos_detects_a_value_divergence():
+    # The deliberately broken handoff kernel loses an update under B+M+I:
+    # its *baseline* memory already diverges from the HCC oracle, which is
+    # exactly the failure mode the digest comparison must catch.
+    target = ChaosTarget(
+        "litmus", "lock_handoff_three_threads_broken", INTRA_BMI, INTRA_HCC
+    )
+    plans = random_plans(1, seed=5)
+    result = run_chaos([target], plans, executor=SweepExecutor(jobs=1))
+    assert not result.clean
+    bad = result.divergences["litmus:lock_handoff_three_threads_broken"]
+    assert "<baseline>" in bad
+
+
+def test_run_chaos_requires_targets():
+    with pytest.raises(ConfigError):
+        run_chaos([], random_plans(1))
+
+
+def test_percentile_interpolates():
+    assert percentile([], 50) == 0.0
+    assert percentile([3.0], 99) == 3.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+    assert percentile([1.0, 2.0], 100) == 2.0
+
+
+def test_summarize_and_render():
+    targets = default_targets(["lock_multiline_sweep"])
+    plans = random_plans(2, seed=9)
+    result = run_chaos(targets, plans, executor=SweepExecutor(jobs=1))
+    summary = summarize(result)
+    assert summary["clean"]
+    assert summary["plans"] == 2
+    assert summary["runs"] == 2
+    assert summary["slowdown_p50"] >= 1.0 or summary["slowdown_p50"] > 0
+    assert set(summary["kinds"]) == {k.value for k in FaultKind}
+    text = render_text(summary)
+    assert "PASS" in text
+    assert "lock_multiline_sweep" in text
+    import json
+
+    assert json.loads(render_json(summary))["clean"] is True
+
+
+def test_chaos_cells_hit_the_result_cache(tmp_path):
+    from repro.eval.cache import ResultCache
+
+    targets = default_targets(["mp_flag"])
+    plans = random_plans(1, seed=4)
+    ex1 = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+    first = run_chaos(targets, plans, executor=ex1)
+    assert ex1.stats.cache_hits == 0
+    ex2 = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+    second = run_chaos(targets, plans, executor=ex2)
+    assert ex2.stats.cache_hits == ex1.stats.cells
+    a, b = summarize(first), summarize(second)
+    a.pop("sweep"), b.pop("sweep")  # wall time / hit counts differ by design
+    assert a == b

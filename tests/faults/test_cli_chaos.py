@@ -1,0 +1,81 @@
+"""CLI-level tests for ``repro chaos``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def test_chaos_list_faults(capsys):
+    assert main(["chaos", "--list-faults"]) == 0
+    out = capsys.readouterr().out
+    for kind in ("meb_overflow", "ieb_displace", "threadmap_displace",
+                 "wbuf_stall", "noc_jitter", "noc_link_down", "mem_wb_delay"):
+        assert kind in out
+
+
+def test_chaos_small_run_exits_zero(capsys):
+    code = main(
+        ["chaos", "--workload", "mp_flag", "--plans", "2", "--seed", "3",
+         "--jobs", "1", "--no-cache"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "mp_flag" in out
+
+
+def test_chaos_json_payload(capsys):
+    code = main(
+        ["chaos", "--workload", "lock_counter", "--plans", "2", "--seed", "3",
+         "--jobs", "1", "--no-cache", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is True
+    assert payload["plans"] == 2
+    assert payload["divergences"] == {}
+    assert set(payload["kinds"]) == {
+        "meb_overflow", "ieb_displace", "threadmap_displace", "wbuf_stall",
+        "noc_jitter", "noc_link_down", "mem_wb_delay",
+    }
+
+
+def test_chaos_fault_filter_limits_kinds(capsys):
+    code = main(
+        ["chaos", "--workload", "mp_flag", "--plans", "2", "--seed", "3",
+         "--faults", "noc_jitter,wbuf_stall", "--jobs", "1", "--no-cache",
+         "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    fired = {k for k, v in payload["kinds"].items() if v["fires"]}
+    assert fired <= {"noc_jitter", "wbuf_stall"}
+
+
+def test_chaos_unknown_workload_is_usage_error(capsys):
+    assert main(["chaos", "--workload", "no_such_thing", "--plans", "1"]) == 2
+    assert "unknown chaos workload" in capsys.readouterr().err
+
+
+def test_chaos_unknown_fault_kind_is_usage_error(capsys):
+    code = main(
+        ["chaos", "--workload", "mp_flag", "--faults", "cosmic_ray"]
+    )
+    assert code == 2
+    assert "--list-faults" in capsys.readouterr().err
+
+
+def test_chaos_reports_a_divergence(capsys):
+    # Explicitly naming the broken handoff kernel gives the runner a target
+    # whose B+M+I memory already differs from the HCC oracle.
+    code = main(
+        ["chaos", "--workload", "lock_handoff_three_threads_broken",
+         "--plans", "1", "--seed", "3", "--jobs", "1", "--no-cache",
+         "--json"]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert "litmus:lock_handoff_three_threads_broken" in payload["divergences"]

@@ -1,0 +1,133 @@
+"""FaultInjector: hooks, determinism, predicates, freeze, observability."""
+
+import pytest
+
+from repro.core.config import INTRA_BMI
+from repro.eval.runner import run_litmus
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultKind, FaultPlan, FaultSpec
+from repro.obs.metrics import Metrics
+from repro.obs.schema import validate_event
+from repro.obs.trace import Tracer
+
+
+def _plan(**spec_kw):
+    return FaultPlan(name="t", seed=11, specs=(FaultSpec(**spec_kw),))
+
+
+def test_timing_draws_are_bounded_and_deterministic():
+    plan = _plan(kind=FaultKind.WBUF_STALL, rate=1.0, magnitude=5)
+    a = FaultInjector(plan)
+    b = FaultInjector(plan)
+    draws_a = [a.wbuf_stall(0) for _ in range(50)]
+    draws_b = [b.wbuf_stall(0) for _ in range(50)]
+    assert draws_a == draws_b
+    assert all(1 <= d <= 5 for d in draws_a)
+    assert a.total_fires == 50
+
+
+def test_structural_hooks_fire_as_booleans():
+    inj = FaultInjector(_plan(kind=FaultKind.MEB_OVERFLOW, rate=1.0))
+    assert inj.meb_overflow(0) is True
+    assert inj.ieb_displace(0) is False  # kind not armed
+    assert inj.threadmap_displace(0) is False
+
+
+def test_core_filter_restricts_firing():
+    inj = FaultInjector(
+        _plan(kind=FaultKind.WBUF_STALL, rate=1.0, cores=(2,))
+    )
+    assert inj.wbuf_stall(0) == 0
+    assert inj.wbuf_stall(2) > 0
+
+
+def test_window_restricts_firing_to_opportunity_indices():
+    inj = FaultInjector(
+        _plan(kind=FaultKind.WBUF_STALL, rate=1.0, window=(2, 4))
+    )
+    fired = [inj.wbuf_stall(0) > 0 for _ in range(6)]
+    assert fired == [False, False, True, True, False, False]
+
+
+def test_freeze_stops_everything():
+    plan = FaultPlan(
+        name="t",
+        seed=11,
+        specs=(
+            FaultSpec(kind=FaultKind.WBUF_STALL, rate=1.0),
+            FaultSpec(kind=FaultKind.MEM_WB_DELAY, rate=1.0),
+        ),
+    )
+    inj = FaultInjector(plan)
+    inj.mem_writeback()
+    assert inj.wbuf_stall(0) > 0
+    inj.freeze()
+    assert inj.wbuf_stall(0) == 0
+    # pending memory delay is dropped, not carried into verification reads
+    assert inj.take_mem_delay() == 0
+    snap = inj.snapshot()
+    assert snap["total_fires"] == 2
+
+
+def test_mem_delay_accrues_until_taken():
+    inj = FaultInjector(_plan(kind=FaultKind.MEM_WB_DELAY, rate=1.0,
+                              magnitude=4))
+    inj.mem_writeback()
+    inj.mem_writeback()
+    delay = inj.take_mem_delay()
+    assert 2 <= delay <= 8
+    assert inj.take_mem_delay() == 0
+
+
+def test_noc_link_down_adds_a_detour():
+    inj = FaultInjector(_plan(kind=FaultKind.NOC_LINK_DOWN, rate=1.0))
+    extra = inj.noc_delay(3, cycles_per_hop=2)
+    assert extra == 4  # two detour hops at the mesh's own per-hop cost
+
+
+def test_snapshot_shape():
+    plan = _plan(kind=FaultKind.NOC_JITTER, rate=0.5, magnitude=3)
+    inj = FaultInjector(plan)
+    for _ in range(20):
+        inj.noc_delay(1, cycles_per_hop=1)
+    snap = inj.snapshot()
+    assert snap["plan"] == "t"
+    assert snap["seed"] == 11
+    assert snap["digest"] == plan.digest()
+    counters = snap["kinds"]["noc_jitter"]
+    assert counters["opportunities"] == 20
+    assert counters["fires"] == snap["total_fires"]
+    assert counters["extra_cycles"] > 0
+
+
+def test_faulted_run_emits_valid_trace_events_and_metrics():
+    plan = FaultPlan(
+        name="obs",
+        seed=5,
+        specs=(
+            FaultSpec(kind=FaultKind.NOC_JITTER, rate=0.3, magnitude=6),
+            FaultSpec(kind=FaultKind.WBUF_STALL, rate=0.3, magnitude=6),
+        ),
+    )
+    tracer, metrics = Tracer(), Metrics()
+    result = run_litmus(
+        "lock_counter", INTRA_BMI, faults=plan, tracer=tracer, metrics=metrics
+    )
+    fault_events = [e for e in tracer.events if e["kind"] == "fault"]
+    assert fault_events, "faults fired but no trace events were emitted"
+    for event in tracer.events:
+        validate_event(event)
+    fired = {
+        k.split(".")[1]
+        for k in metrics.counters
+        if k.startswith("faults.") and not k.endswith(".cycles")
+    }
+    assert fired == {
+        e["op"] for e in fault_events
+    } <= {"noc_jitter", "wbuf_stall"}
+    assert result.faults["total_fires"] == len(fault_events)
+
+
+def test_arming_requires_a_plan():
+    with pytest.raises(TypeError):
+        FaultInjector()  # noqa: the plan argument is mandatory

@@ -1,0 +1,87 @@
+"""FaultSpec/FaultPlan: validation, canonical serde, seeded generation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.faults.model import (
+    FAULT_CATALOG,
+    STRUCTURAL_KINDS,
+    TIMING_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    random_plans,
+)
+
+
+def test_catalog_covers_every_kind():
+    assert set(FAULT_CATALOG) == set(FaultKind)
+    assert STRUCTURAL_KINDS | TIMING_KINDS == frozenset(FaultKind)
+    assert not STRUCTURAL_KINDS & TIMING_KINDS
+
+
+@pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+def test_spec_rejects_bad_rate(rate):
+    with pytest.raises(ConfigError):
+        FaultSpec(kind=FaultKind.NOC_JITTER, rate=rate)
+
+
+def test_spec_rejects_bad_magnitude():
+    with pytest.raises(ConfigError):
+        FaultSpec(kind=FaultKind.NOC_JITTER, magnitude=0)
+
+
+def test_plan_rejects_duplicate_kinds():
+    spec = FaultSpec(kind=FaultKind.WBUF_STALL)
+    with pytest.raises(ConfigError):
+        FaultPlan(name="dup", specs=(spec, spec))
+
+
+def test_plan_serde_round_trip():
+    plan = FaultPlan(
+        name="p",
+        seed=99,
+        specs=(
+            FaultSpec(kind=FaultKind.MEB_OVERFLOW, rate=0.25, cores=(2, 0)),
+            FaultSpec(kind=FaultKind.NOC_JITTER, magnitude=12,
+                      window=(10, 500)),
+        ),
+    )
+    back = FaultPlan.from_dict(plan.to_dict())
+    assert back == plan
+    assert back.digest() == plan.digest()
+    # cores are canonicalized sorted, so equivalent inputs hash identically
+    assert back.specs[0].cores == (0, 2)
+
+
+def test_digest_is_sensitive_to_every_field():
+    base = FaultPlan(
+        name="p", seed=1, specs=(FaultSpec(kind=FaultKind.WBUF_STALL),)
+    )
+    variants = [
+        FaultPlan(name="p", seed=2, specs=base.specs),
+        FaultPlan(name="p", seed=1,
+                  specs=(FaultSpec(kind=FaultKind.WBUF_STALL, rate=0.1),)),
+        FaultPlan(name="p", seed=1,
+                  specs=(FaultSpec(kind=FaultKind.WBUF_STALL, magnitude=9),)),
+        FaultPlan(name="p", seed=1,
+                  specs=(FaultSpec(kind=FaultKind.NOC_JITTER),)),
+    ]
+    digests = {base.digest()} | {v.digest() for v in variants}
+    assert len(digests) == len(variants) + 1
+
+
+def test_random_plans_reproduce_from_seed():
+    a = random_plans(5, seed=7)
+    b = random_plans(5, seed=7)
+    assert a == b
+    c = random_plans(5, seed=8)
+    assert a != c
+    assert len({p.digest() for p in a}) == 5
+
+
+def test_random_plans_respect_kind_filter():
+    kinds = [FaultKind.NOC_JITTER, FaultKind.WBUF_STALL]
+    for plan in random_plans(8, seed=3, kinds=kinds):
+        assert plan.specs  # never an empty plan
+        assert set(plan.kinds) <= set(kinds)

@@ -1,0 +1,88 @@
+"""The fault subsystem must be invisible until a plan is armed.
+
+Acceptance bar mirroring ``tests/obs/test_neutrality.py``: with no
+injector, every hook point is one pointer comparison and all statistics
+are bit-identical to a pre-fault-subsystem build (pinned by golden stats
+JSON); with an *empty* plan armed, the hooks run but roll nothing, and the
+numbers still do not move.
+
+To regenerate the goldens after an intentional timing-model change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/faults/test_neutrality.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.core.config import INTER_ADDR_L, INTRA_BMI, INTRA_HCC
+from repro.eval.runner import run_inter, run_intra, run_litmus
+from repro.faults.model import FaultPlan
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+INTRA_KW = dict(num_threads=4, scale=0.5)
+INTER_KW = dict(num_blocks=2, cores_per_block=2, scale=0.25)
+
+
+def check_golden_json(name: str, payload: dict) -> None:
+    rendered = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered)
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"golden file {path} missing — run with REPRO_UPDATE_GOLDEN=1"
+    )
+    assert rendered == path.read_text(), (
+        f"{name} drifted from its golden copy: an unarmed run no longer "
+        "reproduces the pre-fault-subsystem statistics bit-for-bit"
+    )
+
+
+def test_empty_plan_is_bit_identical_intra():
+    plain = run_intra("volrend", INTRA_BMI, **INTRA_KW)
+    armed = run_intra(
+        "volrend", INTRA_BMI, faults=FaultPlan(name="empty"), **INTRA_KW
+    )
+    assert armed.stats.to_dict() == plain.stats.to_dict()
+    assert armed.faults["total_fires"] == 0
+
+
+def test_empty_plan_is_bit_identical_inter():
+    plain = run_inter("ep", INTER_ADDR_L, **INTER_KW)
+    armed = run_inter(
+        "ep", INTER_ADDR_L, faults=FaultPlan(name="empty"), **INTER_KW
+    )
+    assert armed.stats.to_dict() == plain.stats.to_dict()
+
+
+def test_empty_plan_is_bit_identical_litmus():
+    plain = run_litmus("lock_counter", INTRA_BMI, memory_digest=True)
+    armed = run_litmus(
+        "lock_counter", INTRA_BMI, faults=FaultPlan(name="empty"),
+        memory_digest=True,
+    )
+    assert armed.stats.to_dict() == plain.stats.to_dict()
+    assert armed.memory_digest == plain.memory_digest
+
+
+def test_unarmed_intra_stats_match_golden():
+    result = run_intra("volrend", INTRA_BMI, **INTRA_KW)
+    check_golden_json("volrend_bmi_stats.json", result.stats.to_dict())
+
+
+def test_unarmed_intra_hcc_stats_match_golden():
+    result = run_intra("volrend", INTRA_HCC, **INTRA_KW)
+    check_golden_json("volrend_hcc_stats.json", result.stats.to_dict())
+
+
+def test_unarmed_inter_stats_match_golden():
+    result = run_inter("ep", INTER_ADDR_L, **INTER_KW)
+    check_golden_json("ep_addrl_stats.json", result.stats.to_dict())

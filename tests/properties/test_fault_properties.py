@@ -1,0 +1,86 @@
+"""Property-based tests: faults may cost cycles, never change a value.
+
+Random fault plans applied to determinate litmus kernels must leave the
+final memory image bit-identical to the fault-free run (the subsystem's
+core invariant), and since every fault only *adds* latency, the degraded
+execution time and total stall cycles can never drop below the fault-free
+baseline on lock-free kernels (where timing cannot steer the dataflow).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import INTRA_BMI
+from repro.eval.runner import run_litmus
+from repro.faults.model import FaultKind, FaultPlan, FaultSpec
+
+#: Determinate kernels with no locks: their instruction streams are fixed,
+#: so extra latency can only ever slow them down.
+LOCK_FREE = ("mp_flag", "mp_barrier", "store_buffering_barrier")
+
+
+def _total_stalls(stats) -> int:
+    return sum(core.total_cycles for core in stats.per_core)
+
+spec_strategy = st.builds(
+    FaultSpec,
+    kind=st.sampled_from(list(FaultKind)),
+    rate=st.floats(min_value=0.05, max_value=1.0),
+    magnitude=st.integers(min_value=1, max_value=16),
+)
+
+
+@st.composite
+def plan_strategy(draw):
+    kinds = draw(
+        st.lists(
+            st.sampled_from(list(FaultKind)), min_size=1, max_size=4,
+            unique=True,
+        )
+    )
+    specs = tuple(
+        FaultSpec(
+            kind=kind,
+            rate=draw(st.floats(min_value=0.05, max_value=1.0)),
+            magnitude=draw(st.integers(min_value=1, max_value=16)),
+        )
+        for kind in kinds
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return FaultPlan(name="prop", seed=seed, specs=specs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    kernel=st.sampled_from(
+        ("mp_flag", "mp_barrier", "store_buffering_barrier", "lock_counter",
+         "lock_multiline_sweep", "flag_ping_pong")
+    ),
+    plan=plan_strategy(),
+)
+def test_faults_never_change_memory(kernel, plan):
+    clean = run_litmus(kernel, INTRA_BMI, memory_digest=True)
+    degraded = run_litmus(
+        kernel, INTRA_BMI, faults=plan, memory_digest=True
+    )
+    assert degraded.memory_digest == clean.memory_digest
+
+
+@settings(max_examples=12, deadline=None)
+@given(kernel=st.sampled_from(LOCK_FREE), plan=plan_strategy())
+def test_faults_only_slow_lock_free_kernels_down(kernel, plan):
+    clean = run_litmus(kernel, INTRA_BMI)
+    degraded = run_litmus(kernel, INTRA_BMI, faults=plan)
+    assert degraded.exec_time >= clean.exec_time
+    assert _total_stalls(degraded.stats) >= _total_stalls(clean.stats)
+
+
+@settings(max_examples=10, deadline=None)
+@given(plan=plan_strategy())
+def test_armed_runs_are_reproducible(plan):
+    a = run_litmus("mp_flag", INTRA_BMI, faults=plan, memory_digest=True)
+    b = run_litmus("mp_flag", INTRA_BMI, faults=plan, memory_digest=True)
+    assert a.exec_time == b.exec_time
+    assert a.faults == b.faults
+    assert a.memory_digest == b.memory_digest
