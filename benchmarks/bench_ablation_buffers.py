@@ -19,7 +19,7 @@ import pathlib
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from common import run_once, save_result
+from common import bench_main, run_once, save_result
 
 from repro import BufferParams, Machine, intra_block_machine
 from repro.core.config import INTRA_BMI
@@ -59,37 +59,43 @@ def cs_table_exec(meb: int, ieb: int) -> tuple[int, int]:
     return stats.exec_time, checksum
 
 
-def test_buffer_size_ablation(benchmark):
-    def sweep():
-        lines = ["CS-table microbenchmark, B+M+I, 8 cores", ""]
-        lines.append("MEB sweep (IEB fixed at 4):")
-        meb_times = {}
-        for m in MEB_SIZES:
-            meb_times[m], _ = cs_table_exec(m, 4)
-            lines.append(f"  MEB={m:3d}  exec={meb_times[m]:8d}")
-        lines.append("IEB sweep (MEB fixed at 16):")
-        ieb_times = {}
-        for i in IEB_SIZES:
-            ieb_times[i], _ = cs_table_exec(16, i)
-            lines.append(f"  IEB={i:3d}  exec={ieb_times[i]:8d}")
-        # The paper's sizes sit at/above the knee.
-        assert meb_times[16] <= 1.05 * meb_times[64]
-        assert meb_times[2] > meb_times[16]  # too-small MEB overflows
-        assert ieb_times[4] <= 1.05 * ieb_times[16]
-        assert ieb_times[1] > ieb_times[4]  # too-small IEB thrashes
-        # Control: raytrace's 1-line critical sections are size-insensitive.
-        control = {}
-        for m in (2, 16):
-            params = intra_block_machine(
-                16, buffers=BufferParams(meb_entries=m, ieb_entries=4)
-            )
-            machine = Machine(params, INTRA_BMI, num_threads=16)
-            control[m] = MODEL_ONE["raytrace"](scale=0.5).run_on(machine).exec_time
-        lines.append("")
-        lines.append(
-            f"control (raytrace, 1-line CS): MEB=2 -> {control[2]}, "
-            f"MEB=16 -> {control[16]}"
+def sweep():
+    """The MEB/IEB sizing sweep; returns the rendered report text."""
+    lines = ["CS-table microbenchmark, B+M+I, 8 cores", ""]
+    lines.append("MEB sweep (IEB fixed at 4):")
+    meb_times = {}
+    for m in MEB_SIZES:
+        meb_times[m], _ = cs_table_exec(m, 4)
+        lines.append(f"  MEB={m:3d}  exec={meb_times[m]:8d}")
+    lines.append("IEB sweep (MEB fixed at 16):")
+    ieb_times = {}
+    for i in IEB_SIZES:
+        ieb_times[i], _ = cs_table_exec(16, i)
+        lines.append(f"  IEB={i:3d}  exec={ieb_times[i]:8d}")
+    # The paper's sizes sit at/above the knee.
+    assert meb_times[16] <= 1.05 * meb_times[64]
+    assert meb_times[2] > meb_times[16]  # too-small MEB overflows
+    assert ieb_times[4] <= 1.05 * ieb_times[16]
+    assert ieb_times[1] > ieb_times[4]  # too-small IEB thrashes
+    # Control: raytrace's 1-line critical sections are size-insensitive.
+    control = {}
+    for m in (2, 16):
+        params = intra_block_machine(
+            16, buffers=BufferParams(meb_entries=m, ieb_entries=4)
         )
-        return "\n".join(lines)
+        machine = Machine(params, INTRA_BMI, num_threads=16)
+        control[m] = MODEL_ONE["raytrace"](scale=0.5).run_on(machine).exec_time
+    lines.append("")
+    lines.append(
+        f"control (raytrace, 1-line CS): MEB=2 -> {control[2]}, "
+        f"MEB=16 -> {control[16]}"
+    )
+    return "\n".join(lines)
 
+
+def test_buffer_size_ablation(benchmark):
     save_result("ablation_buffers", run_once(benchmark, sweep))
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main("ablation_buffers", sweep))

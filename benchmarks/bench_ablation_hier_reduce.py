@@ -16,7 +16,7 @@ import pathlib
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from common import run_once, save_result
+from common import bench_main, run_once, save_result
 
 from repro import Machine, inter_block_machine
 from repro.core.config import INTER_ADDR_L
@@ -35,21 +35,27 @@ def run(app: str, **kw) -> dict:
     }
 
 
-def test_hierarchical_reduction_ablation(benchmark):
-    def sweep():
-        flat = run("ep")
-        hier = run("ep_hier", num_blocks=4)
-        lines = [
-            "EP under Addr+L, 4 blocks x 8 cores",
-            f"  flat reduction:          exec={flat['exec']:8d}  "
-            f"global wb/inv lines = {flat['gwb']}/{flat['ginv']}",
-            f"  hierarchical reduction:  exec={hier['exec']:8d}  "
-            f"global wb/inv lines = {hier['gwb']}/{hier['ginv']}  "
-            f"(local = {hier['lwb']}/{hier['linv']})",
-            f"  speedup: {flat['exec'] / hier['exec']:.2f}x",
-        ]
-        assert hier["gwb"] < flat["gwb"]
-        assert hier["exec"] < flat["exec"]
-        return "\n".join(lines)
+def sweep():
+    """Flat vs hierarchical EP reduction; returns the report text."""
+    flat = run("ep")
+    hier = run("ep_hier", num_blocks=4)
+    lines = [
+        "EP under Addr+L, 4 blocks x 8 cores",
+        f"  flat reduction:          exec={flat['exec']:8d}  "
+        f"global wb/inv lines = {flat['gwb']}/{flat['ginv']}",
+        f"  hierarchical reduction:  exec={hier['exec']:8d}  "
+        f"global wb/inv lines = {hier['gwb']}/{hier['ginv']}  "
+        f"(local = {hier['lwb']}/{hier['linv']})",
+        f"  speedup: {flat['exec'] / hier['exec']:.2f}x",
+    ]
+    assert hier["gwb"] < flat["gwb"]
+    assert hier["exec"] < flat["exec"]
+    return "\n".join(lines)
 
+
+def test_hierarchical_reduction_ablation(benchmark):
     save_result("ablation_hier_reduce", run_once(benchmark, sweep))
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main("ablation_hier_reduce", sweep))

@@ -11,7 +11,7 @@ import pathlib
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from common import INTRA_SCALE, run_once, save_result
+from common import INTRA_SCALE, bench_main, run_once, save_result
 
 from repro.core.config import INTRA_BMI, INTRA_HCC
 from repro.eval.report import render_fig10
@@ -20,18 +20,24 @@ from repro.sim.stats import TrafficCat
 from repro.workloads import MODEL_ONE
 
 
-def test_fig10(benchmark):
-    def sweep():
-        results = sweep_intra(
-            sorted(MODEL_ONE), [INTRA_HCC, INTRA_BMI], scale=INTRA_SCALE
-        )
-        for app, per_cfg in results.items():
-            bmi = per_cfg["B+M+I"].stats
-            hcc = per_cfg["HCC"].stats
-            # Qualitative claims that hold for every application:
-            assert bmi.traffic[TrafficCat.INVALIDATION] == 0, app
-            assert hcc.traffic[TrafficCat.INVALIDATION] > 0, app
-        return results
+def sweep():
+    """The Figure 10 matrix with its traffic assertions."""
+    results = sweep_intra(
+        sorted(MODEL_ONE), [INTRA_HCC, INTRA_BMI], scale=INTRA_SCALE
+    )
+    for app, per_cfg in results.items():
+        bmi = per_cfg["B+M+I"].stats
+        hcc = per_cfg["HCC"].stats
+        # Qualitative claims that hold for every application:
+        assert bmi.traffic[TrafficCat.INVALIDATION] == 0, app
+        assert hcc.traffic[TrafficCat.INVALIDATION] > 0, app
+    return results
 
+
+def test_fig10(benchmark):
     results = run_once(benchmark, sweep)
     save_result("fig10_traffic", render_fig10(results))
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main("fig10_traffic", sweep))

@@ -11,7 +11,7 @@ import pathlib
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from common import INTRA_SCALE, run_once, save_result
+from common import INTRA_SCALE, bench_main, run_once, save_result
 
 from repro.core.config import INTRA_CONFIGS
 from repro.eval.report import render_fig9
@@ -19,22 +19,28 @@ from repro.eval.runner import sweep_intra
 from repro.workloads import MODEL_ONE
 
 
-def test_fig9(benchmark):
-    def sweep():
-        results = sweep_intra(
-            sorted(MODEL_ONE), list(INTRA_CONFIGS), scale=INTRA_SCALE
-        )
-        # Shape assertions on the mean across applications.
-        means = {}
-        for app, per_cfg in results.items():
-            base = per_cfg["HCC"].exec_time
-            for cfg, res in per_cfg.items():
-                means.setdefault(cfg, []).append(res.exec_time / base)
-        avg = {cfg: sum(v) / len(v) for cfg, v in means.items()}
-        assert avg["Base"] > avg["B+M+I"], "Base must be the slowest"
-        assert avg["B+M+I"] < 1.25, "B+M+I must be near HCC (paper: +2%)"
-        assert avg["B+I"] > avg["B+M"], "IEB alone beats nothing (paper §VII-B)"
-        return results
+def sweep():
+    """The Figure 9 matrix with its shape assertions; returns the results."""
+    results = sweep_intra(
+        sorted(MODEL_ONE), list(INTRA_CONFIGS), scale=INTRA_SCALE
+    )
+    # Shape assertions on the mean across applications.
+    means = {}
+    for app, per_cfg in results.items():
+        base = per_cfg["HCC"].exec_time
+        for cfg, res in per_cfg.items():
+            means.setdefault(cfg, []).append(res.exec_time / base)
+    avg = {cfg: sum(v) / len(v) for cfg, v in means.items()}
+    assert avg["Base"] > avg["B+M+I"], "Base must be the slowest"
+    assert avg["B+M+I"] < 1.25, "B+M+I must be near HCC (paper: +2%)"
+    assert avg["B+I"] > avg["B+M"], "IEB alone beats nothing (paper §VII-B)"
+    return results
 
+
+def test_fig9(benchmark):
     results = run_once(benchmark, sweep)
     save_result("fig9_intra_time", render_fig9(results))
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main("fig9_intra_time", sweep))

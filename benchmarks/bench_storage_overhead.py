@@ -10,25 +10,31 @@ import pathlib
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from common import run_once, save_result
+from common import bench_main, run_once, save_result
 
 from repro.common.params import inter_block_machine
 from repro.eval.report import render_storage, render_table3
 from repro.eval.storage import storage_report
 
 
-def test_storage_overhead(benchmark):
-    def build():
-        machine = inter_block_machine(4, 8)
-        report = storage_report(machine)
-        text = "\n".join(
-            [
-                render_table3(machine),
-                "",
-                render_storage(report),
-            ]
-        )
-        assert 95 <= report.saved_kbytes <= 110  # paper: ~102 KB
-        return text
+def build():
+    """Render the storage/architecture tables; returns the report text."""
+    machine = inter_block_machine(4, 8)
+    report = storage_report(machine)
+    text = "\n".join(
+        [
+            render_table3(machine),
+            "",
+            render_storage(report),
+        ]
+    )
+    assert 95 <= report.saved_kbytes <= 110  # paper: ~102 KB
+    return text
 
+
+def test_storage_overhead(benchmark):
     save_result("storage_overhead", run_once(benchmark, build))
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main("storage_overhead", build))

@@ -18,7 +18,7 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from common import run_once, save_result
+from common import bench_main, run_once, save_result
 
 from repro.common.params import intra_block_machine
 from repro.core.config import INTRA_BASE, INTRA_BM, INTRA_BMI, INTRA_HCC
@@ -47,49 +47,55 @@ def _timed(fn):
     return out, time.perf_counter() - t0
 
 
+def sweep():
+    """Serial vs parallel vs cached sweep timing; returns the report text."""
+    serial, t_serial = _timed(
+        lambda: sweep_intra(APPS, CONFIGS, jobs=1, **KW)
+    )
+    parallel, t_parallel = _timed(
+        lambda: sweep_intra(APPS, CONFIGS, jobs=PARALLEL_JOBS, **KW)
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        warm = SweepExecutor(jobs=1, cache=ResultCache(tmp))
+        sweep_intra(APPS, CONFIGS, executor=warm, **KW)
+        hot = SweepExecutor(jobs=1, cache=ResultCache(tmp))
+        cached, t_cached = _timed(
+            lambda: sweep_intra(APPS, CONFIGS, executor=hot, **KW)
+        )
+        assert warm.stats.cache_misses == len(APPS) * len(CONFIGS)
+        assert hot.stats.cache_hits == len(APPS) * len(CONFIGS)
+
+    # Correctness before speed: all three modes must agree bit-for-bit.
+    assert _cells(serial) == _cells(parallel), "parallel diverged from serial"
+    assert _cells(serial) == _cells(cached), "cache rehydration diverged"
+
+    par_speedup = t_serial / max(t_parallel, 1e-9)
+    cache_speedup = t_serial / max(t_cached, 1e-9)
+    if PARALLEL_JOBS >= 4:
+        assert par_speedup >= 2.0, (
+            f"expected >=2x at jobs={PARALLEL_JOBS}, got {par_speedup:.2f}x"
+        )
+    assert cache_speedup >= 5.0, (
+        f"expected >=5x on a fully-cached rerun, got {cache_speedup:.2f}x"
+    )
+
+    rows = [
+        f"{'mode':10s} {'wall s':>10s} {'speedup':>9s}",
+        f"{'serial':10s} {t_serial:10.3f} {1.0:9.2f}",
+        f"{'parallel':10s} {t_parallel:10.3f} {par_speedup:9.2f}"
+        f"   (jobs={PARALLEL_JOBS}, cpus={os.cpu_count()})",
+        f"{'cached':10s} {t_cached:10.3f} {cache_speedup:9.2f}",
+        "",
+        f"matrix: {len(APPS)} apps x {len(CONFIGS)} configs "
+        f"= {len(APPS) * len(CONFIGS)} cells "
+        f"(4 threads, scale {KW['scale']}); all modes bit-identical",
+    ]
+    return "\n".join(rows)
+
+
 def test_sweep_throughput(benchmark):
-    def sweep():
-        serial, t_serial = _timed(
-            lambda: sweep_intra(APPS, CONFIGS, jobs=1, **KW)
-        )
-        parallel, t_parallel = _timed(
-            lambda: sweep_intra(APPS, CONFIGS, jobs=PARALLEL_JOBS, **KW)
-        )
-        with tempfile.TemporaryDirectory() as tmp:
-            warm = SweepExecutor(jobs=1, cache=ResultCache(tmp))
-            sweep_intra(APPS, CONFIGS, executor=warm, **KW)
-            hot = SweepExecutor(jobs=1, cache=ResultCache(tmp))
-            cached, t_cached = _timed(
-                lambda: sweep_intra(APPS, CONFIGS, executor=hot, **KW)
-            )
-            assert warm.stats.cache_misses == len(APPS) * len(CONFIGS)
-            assert hot.stats.cache_hits == len(APPS) * len(CONFIGS)
-
-        # Correctness before speed: all three modes must agree bit-for-bit.
-        assert _cells(serial) == _cells(parallel), "parallel diverged from serial"
-        assert _cells(serial) == _cells(cached), "cache rehydration diverged"
-
-        par_speedup = t_serial / max(t_parallel, 1e-9)
-        cache_speedup = t_serial / max(t_cached, 1e-9)
-        if PARALLEL_JOBS >= 4:
-            assert par_speedup >= 2.0, (
-                f"expected >=2x at jobs={PARALLEL_JOBS}, got {par_speedup:.2f}x"
-            )
-        assert cache_speedup >= 5.0, (
-            f"expected >=5x on a fully-cached rerun, got {cache_speedup:.2f}x"
-        )
-
-        rows = [
-            f"{'mode':10s} {'wall s':>10s} {'speedup':>9s}",
-            f"{'serial':10s} {t_serial:10.3f} {1.0:9.2f}",
-            f"{'parallel':10s} {t_parallel:10.3f} {par_speedup:9.2f}"
-            f"   (jobs={PARALLEL_JOBS}, cpus={os.cpu_count()})",
-            f"{'cached':10s} {t_cached:10.3f} {cache_speedup:9.2f}",
-            "",
-            f"matrix: {len(APPS)} apps x {len(CONFIGS)} configs "
-            f"= {len(APPS) * len(CONFIGS)} cells "
-            f"(4 threads, scale {KW['scale']}); all modes bit-identical",
-        ]
-        return "\n".join(rows)
-
     save_result("sweep_throughput", run_once(benchmark, sweep))
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main("sweep_throughput", sweep))

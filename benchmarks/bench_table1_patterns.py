@@ -10,7 +10,7 @@ import pathlib
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from common import run_once, save_result
+from common import bench_main, run_once, save_result
 
 from repro import Machine, intra_block_machine
 from repro.core.config import INTRA_BASE
@@ -35,23 +35,28 @@ def observed_patterns(app: str) -> set[str]:
     return out
 
 
-def test_table1(benchmark):
-    def build():
-        rows = [render_table1(), "", "validation (observed sync primitives):"]
-        for app, cls in sorted(MODEL_ONE.items()):
-            declared = set(cls.main_patterns) | set(cls.other_patterns)
-            observed = observed_patterns(app)
-            # Every observed primitive must be declared (OCC/data-race are
-            # annotations on top of locks, not separate primitives).
-            base = {
-                p
-                for p in declared
-                if p in (Pattern.BARRIER, Pattern.CRITICAL, Pattern.FLAG)
-            }
-            ok = observed <= (base | {Pattern.BARRIER})
-            rows.append(f"  {app:14s} observed={sorted(observed)} ok={ok}")
-            assert observed & base or not base, (app, observed, declared)
-        return "\n".join(rows)
+def build():
+    """Render and validate Table I; returns the report text."""
+    rows = [render_table1(), "", "validation (observed sync primitives):"]
+    for app, cls in sorted(MODEL_ONE.items()):
+        declared = set(cls.main_patterns) | set(cls.other_patterns)
+        observed = observed_patterns(app)
+        # Every observed primitive must be declared (OCC/data-race are
+        # annotations on top of locks, not separate primitives).
+        base = {
+            p
+            for p in declared
+            if p in (Pattern.BARRIER, Pattern.CRITICAL, Pattern.FLAG)
+        }
+        ok = observed <= (base | {Pattern.BARRIER})
+        rows.append(f"  {app:14s} observed={sorted(observed)} ok={ok}")
+        assert observed & base or not base, (app, observed, declared)
+    return "\n".join(rows)
 
-    text = run_once(benchmark, build)
-    save_result("table1_patterns", text)
+
+def test_table1(benchmark):
+    save_result("table1_patterns", run_once(benchmark, build))
+
+
+if __name__ == "__main__":
+    raise SystemExit(bench_main("table1_patterns", build))

@@ -124,6 +124,9 @@ class _Thread:
     events: list[OpEvent] = field(default_factory=list)
     #: (op, call_path) of a blocking op issued but not yet completed.
     pending: tuple[isa.Op, tuple[str, ...]] | None = None
+    #: A batch op split across quantum boundaries:
+    #: (op, call_path, next micro-op index, values read so far).
+    batch: tuple[isa.Op, tuple[str, ...], int, list] | None = None
 
 
 class _Extractor:
@@ -249,7 +252,11 @@ class _Extractor:
 
     def _run_quantum(self, thread: _Thread) -> None:
         gen = thread.gen
-        for _ in range(self.quantum):
+        budget = self.quantum
+        while budget > 0:
+            if thread.batch is not None:
+                budget = self._resume_batch(thread, budget)
+                continue
             try:
                 op = gen.send(thread.send) if thread.started else next(gen)
             except StopIteration:
@@ -257,15 +264,100 @@ class _Extractor:
                 return
             thread.started = True
             thread.send = None
-            self.total_ops += 1
-            if self.total_ops > self.max_ops:
-                raise AnalysisError(
-                    f"extraction exceeded {self.max_ops} operations; "
-                    "raise max_ops or shrink the kernel scale"
-                )
             path = _call_path(gen)
+            if type(op) in isa.BATCH_OPS:
+                # Batches are charged per expanded micro-op, and the
+                # quantum boundary may fall inside one — the word-level
+                # interleaving is exactly that of the scalar form.
+                thread.batch = (op, path, 0, [])
+                budget = self._resume_batch(thread, budget)
+                continue
+            budget -= 1
+            self._charge()
             if not self._execute(thread, op, path):
                 return  # blocked
+
+    def _charge(self) -> None:
+        self.total_ops += 1
+        if self.total_ops > self.max_ops:
+            raise AnalysisError(
+                f"extraction exceeded {self.max_ops} operations; "
+                "raise max_ops or shrink the kernel scale"
+            )
+
+    def _resume_batch(self, thread: _Thread, budget: int) -> int:
+        """Execute micro-ops of the thread's in-progress batch.
+
+        Read-modify-write batches expand to two micro-ops per element, and
+        the quantum boundary may fall between them, exactly as it could
+        between the scalar ``Read`` and ``Write``.  ``thread.send`` is only
+        delivered once the whole batch has executed.
+        """
+        op, path, pos, acc = thread.batch  # type: ignore[misc]
+        kind = type(op)
+        if kind is isa.ReadBatch:
+            addrs = op.addrs
+            total = len(addrs)
+            while pos < total and budget > 0:
+                acc.append(self._read(addrs[pos]))
+                self._record(thread, isa.Read(addrs[pos]), path)
+                pos += 1
+                budget -= 1
+                self._charge()
+            done = pos == total
+            if done:
+                thread.send = acc
+        elif kind is isa.WriteBatch:
+            addrs, values = op.addrs, op.values
+            if len(addrs) != len(values):
+                raise AnalysisError("WriteBatch addrs/values length mismatch")
+            total = len(addrs)
+            while pos < total and budget > 0:
+                self._write(addrs[pos], values[pos])
+                self._record(thread, isa.Write(addrs[pos], values[pos]), path)
+                pos += 1
+                budget -= 1
+                self._charge()
+            done = pos == total
+        elif kind is isa.CopyBatch:
+            srcs, dsts = op.src_addrs, op.dst_addrs
+            if len(srcs) != len(dsts):
+                raise AnalysisError("CopyBatch src/dst length mismatch")
+            total = 2 * len(srcs)
+            while pos < total and budget > 0:
+                k, phase = divmod(pos, 2)
+                if phase == 0:
+                    acc.append(self._read(srcs[k]))
+                    self._record(thread, isa.Read(srcs[k]), path)
+                else:
+                    self._write(dsts[k], acc[k])
+                    self._record(thread, isa.Write(dsts[k], acc[k]), path)
+                pos += 1
+                budget -= 1
+                self._charge()
+            done = pos == total
+        elif kind is isa.AddBatch:
+            addrs, deltas = op.addrs, op.deltas
+            if len(addrs) != len(deltas):
+                raise AnalysisError("AddBatch addrs/deltas length mismatch")
+            total = 2 * len(addrs)
+            while pos < total and budget > 0:
+                k, phase = divmod(pos, 2)
+                if phase == 0:
+                    acc.append(self._read(addrs[k]))
+                    self._record(thread, isa.Read(addrs[k]), path)
+                else:
+                    new = acc[k] + deltas[k]
+                    self._write(addrs[k], new)
+                    self._record(thread, isa.Write(addrs[k], new), path)
+                pos += 1
+                budget -= 1
+                self._charge()
+            done = pos == total
+        else:  # pragma: no cover - BATCH_OPS is exhaustive
+            raise AnalysisError(f"unknown batch op {kind.__name__}")
+        thread.batch = None if done else (op, path, pos, acc)
+        return budget
 
     def _execute(
         self, thread: _Thread, op: isa.Op, path: tuple[str, ...]

@@ -12,6 +12,14 @@ Usage (also via ``python -m repro``)::
     repro lint missing_annotations --fix    # auto-insert + verify vs HCC
     repro chaos --plans 100 --seed 7        # seeded fault-injection sweep
     repro chaos --list-faults               # injectable fault catalog
+    repro bench fig9 --engine fast --repeat 3      # timed sweep -> BENCH json
+    repro bench fig9 --profile              # cProfile the sweep (top 25)
+
+Engine selection: ``--engine {ref,fast}`` (or ``$REPRO_ENGINE``) picks the
+simulator core — ``ref`` is the dict-based reference, ``fast`` the
+packed-array core (see ``repro.engines``).  Both are bit-identical by
+contract, so figure sweeps may serve either engine's runs from the shared
+result cache.
 
 Figure sweeps fan out over ``--jobs`` worker processes (default: CPU count)
 and reuse verified results from the persistent cache under
@@ -31,6 +39,7 @@ like the test suite.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.common.params import inter_block_machine, intra_block_machine
@@ -77,6 +86,7 @@ def _cmd_run(args) -> int:
                 config,
                 num_threads=16,
                 detect_staleness=True,
+                engine=args.engine,
             )
             MODEL_ONE[app](scale=args.scale).run_on(machine)
             n = len(machine.stale_reads)
@@ -85,10 +95,10 @@ def _cmd_run(args) -> int:
             for event in machine.stale_reads[:10]:
                 print(f"  {event!r}")
             return 0 if n == 0 else 1
-        result = run_intra(app, config, scale=args.scale)
+        result = run_intra(app, config, scale=args.scale, engine=args.engine)
     elif app in MODEL_TWO:
         config = inter_config(args.config)
-        result = run_inter(app, config, scale=args.scale)
+        result = run_inter(app, config, scale=args.scale, engine=args.engine)
     else:
         print(f"unknown workload {app!r} (try `repro list`)", file=sys.stderr)
         return 2
@@ -132,7 +142,13 @@ def _figure_sweep(args, kind: str, apps, configs):
     in-process (tracers do not cross process boundaries); otherwise it fans
     out through the worker pool and the persistent cache.  Tracing is
     bit-identical-neutral, so both paths feed the renderer the same numbers.
+
+    ``--engine`` is exported via ``$REPRO_ENGINE`` (which worker processes
+    inherit) rather than threaded through the cell kwargs, so the result
+    cache stays engine-agnostic — engines are bit-identical by contract.
     """
+    if getattr(args, "engine", None) is not None:
+        os.environ["REPRO_ENGINE"] = args.engine
     if args.trace is not None or args.metrics is not None:
         from repro.obs.replay import traced_sweep
 
@@ -429,6 +445,10 @@ def _cmd_chaos(args) -> int:
     from repro.faults.model import FAULT_CATALOG, FaultKind, random_plans
     from repro.faults import report as frpt
 
+    if args.engine is not None:
+        # Same env-var route as the figure sweeps: workers inherit it and
+        # the result cache stays engine-agnostic.
+        os.environ["REPRO_ENGINE"] = args.engine
     if args.list_faults:
         print("Fault kinds (repro.faults):")
         for kind in FaultKind:
@@ -452,6 +472,64 @@ def _cmd_chaos(args) -> int:
     else:
         print(frpt.render_text(summary), end="")
     return 0 if result.clean else 1
+
+
+def _cmd_bench(args) -> int:
+    """Timed (or profiled) in-process sweep for the perf trajectory.
+
+    Runs the fig9 or fig12 matrix serially in-process (``jobs=1``, no
+    result cache) so the wall-clock measures the simulator core and nothing
+    else, then archives median/p95 seconds to ``BENCH_<target>.json`` via
+    :mod:`repro.eval.bench`.  ``--profile`` swaps the timing loop for one
+    cProfile'd pass and prints the top 25 functions by cumulative time.
+    """
+    from repro.eval import bench
+    from repro.eval.parallel import SweepExecutor
+
+    if args.engine is not None:
+        os.environ["REPRO_ENGINE"] = args.engine
+
+    def sweep():
+        executor = SweepExecutor(jobs=1, cache=None)
+        if args.target == "fig12":
+            return sweep_inter(
+                _PAPER_INTER_APPS,
+                list(INTER_CONFIGS),
+                scale=args.scale,
+                executor=executor,
+            )
+        return sweep_intra(
+            sorted(MODEL_ONE),
+            list(INTRA_CONFIGS),
+            scale=args.scale,
+            executor=executor,
+        )
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        prof = cProfile.Profile()
+        prof.enable()
+        sweep()
+        prof.disable()
+        pstats.Stats(prof).sort_stats("cumulative").print_stats(25)
+        return 0
+
+    _, seconds = bench.measure(sweep, warmup=args.warmup, repeat=args.repeat)
+    payload = bench.record(
+        args.target,
+        seconds,
+        warmup=args.warmup,
+        extra={"scale": args.scale},
+    )
+    path = bench.write_bench_json(payload, out=args.out)
+    print(
+        f"{args.target}: engine={payload['engine']} "
+        f"median={payload['median_s']:.3f}s p95={payload['p95_s']:.3f}s "
+        f"({args.repeat} run(s), warmup {args.warmup}) -> {path}"
+    )
+    return 0
 
 
 def _cmd_table1(_args) -> int:
@@ -491,6 +569,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Table II name (default: B+M+I or Addr+L)")
     p_run.add_argument("--scale", type=float, default=1.0)
     p_run.add_argument(
+        "--engine", choices=("ref", "fast"), default=None,
+        help="simulator core (default: $REPRO_ENGINE or ref)",
+    )
+    p_run.add_argument(
         "--staleness",
         action="store_true",
         help="run with the stale-read detector (Model-1 workloads); "
@@ -509,6 +591,11 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"regenerate {name}")
         if needs_scale:
             p.add_argument("--scale", type=float, default=1.0)
+            p.add_argument(
+                "--engine", choices=("ref", "fast"), default=None,
+                help="simulator core, exported as $REPRO_ENGINE so worker "
+                "processes inherit it (default: $REPRO_ENGINE or ref)",
+            )
             p.add_argument(
                 "--jobs", type=int, default=None,
                 help="parallel sweep workers (default: CPU count; 1 = serial)",
@@ -585,6 +672,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument("--scale", type=float, default=0.5)
     p_chaos.add_argument(
+        "--engine", choices=("ref", "fast"), default=None,
+        help="simulator core, exported as $REPRO_ENGINE (default: ref)",
+    )
+    p_chaos.add_argument(
         "--jobs", type=int, default=None,
         help="parallel sweep workers (default: CPU count; 1 = serial)",
     )
@@ -605,6 +696,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the injectable fault kinds and exit",
     )
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time (or profile) a paper sweep and archive BENCH_<name>.json",
+        description=(
+            "Run the fig9 (intra-block) or fig12 (inter-block) matrix "
+            "serially in-process with the result cache disabled, so the "
+            "wall-clock measures the simulator core.  Without --profile, "
+            "archive per-run seconds plus median/p95, engine, and git rev "
+            "to BENCH_<target>.json at the repo root (the tracked perf "
+            "trajectory; see docs/PERFORMANCE.md).  With --profile, run "
+            "once under cProfile and print the top 25 functions by "
+            "cumulative time instead."
+        ),
+    )
+    p_bench.add_argument(
+        "target", nargs="?", choices=("fig9", "fig12"), default="fig9",
+        help="which paper sweep to time (default: fig9)",
+    )
+    p_bench.add_argument(
+        "--engine", choices=("ref", "fast"), default=None,
+        help="simulator core (default: $REPRO_ENGINE or ref)",
+    )
+    p_bench.add_argument("--scale", type=float, default=1.0)
+    p_bench.add_argument(
+        "--warmup", type=int, default=0,
+        help="untimed warmup runs before measuring (default: 0)",
+    )
+    p_bench.add_argument(
+        "--repeat", type=int, default=1,
+        help="timed runs; median/p95 are archived (default: 1)",
+    )
+    p_bench.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="JSON output path (default: BENCH_<target>.json at repo root)",
+    )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="cProfile one run and print the top 25 cumulative functions",
+    )
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_t3 = sub.add_parser("table3", help="print the architecture table")
     p_t3.add_argument("--machine", choices=("intra", "inter"), default="inter")

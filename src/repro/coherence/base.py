@@ -33,6 +33,9 @@ class Protocol(ABC):
         #: protocol is one ``is not None`` check, nothing more.
         self.tracer = None
         self.metrics = None
+        #: Memo for ``_overlapped``: distinct latencies are few (table-driven
+        #: geometry), so overlap scaling is computed once per value.
+        self._ov_cache: dict[int, int] = {}
 
     # -- plain accesses -------------------------------------------------------
 

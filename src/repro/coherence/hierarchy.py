@@ -25,9 +25,22 @@ from repro.sim.stats import MachineStats, TrafficCat
 
 
 class Hierarchy:
-    """Cache arrays plus geometry/latency/traffic plumbing for one chip."""
+    """Cache arrays plus geometry/latency/traffic plumbing for one chip.
 
-    def __init__(self, machine: MachineParams, stats: MachineStats) -> None:
+    ``cache_class`` selects the tag-array implementation (the reference
+    per-set-dict :class:`~repro.mem.cache.Cache` by default; the fast
+    engine substitutes :class:`~repro.engines.fastcache.PackedCache`).
+    Both expose the same interface and observable iteration order, so the
+    protocols are implementation-agnostic.
+    """
+
+    def __init__(
+        self,
+        machine: MachineParams,
+        stats: MachineStats,
+        *,
+        cache_class: type = Cache,
+    ) -> None:
         self.machine = machine
         self.stats = stats
         self.mesh = Mesh(machine)
@@ -36,22 +49,58 @@ class Hierarchy:
         self.faults = None
         self.line_bytes = machine.line_bytes
         self.words_per_line = machine.words_per_line
+        self.cache_class = cache_class
 
         self.l1s: list[Cache] = [
-            Cache(machine.l1, name=f"L1[{c}]") for c in range(machine.num_cores)
+            cache_class(machine.l1, name=f"L1[{c}]")
+            for c in range(machine.num_cores)
         ]
         # One logical L2 per block, banked one-bank-per-core for latency and
         # capacity. We model each bank as its own Cache array.
         self.l2_banks: list[list[Cache]] = [
             [
-                Cache(machine.l2_bank, name=f"L2[b{b}][{k}]")
+                cache_class(machine.l2_bank, name=f"L2[b{b}][{k}]")
                 for k in range(machine.cores_per_block)
             ]
             for b in range(machine.num_blocks)
         ]
         self.l3_banks: list[Cache] = [
-            Cache(machine.l3_bank, name=f"L3[{k}]")
+            cache_class(machine.l3_bank, name=f"L3[{k}]")
             for k in range(machine.num_l3_banks)
+        ]
+
+        # Fault-free latency tables (geometry is static; the formula-based
+        # paths below stay authoritative whenever an injector is armed).
+        cpb = machine.cores_per_block
+        self._l2_lat = [
+            [
+                machine.l2_bank.round_trip
+                + 2
+                * self.mesh.core_to_l2(c, (c // cpb) * cpb + local)
+                for local in range(cpb)
+            ]
+            for c in range(machine.num_cores)
+        ]
+        nl3 = len(self.l3_banks)
+        self._l3_lat = [
+            [
+                machine.l3_bank.round_trip + 2 * self.mesh.core_to_l3(c, k)
+                for k in range(nl3)
+            ]
+            for c in range(machine.num_cores)
+        ]
+        self._mem_lat = []
+        for c in range(machine.num_cores):
+            tile = self.mesh.core_tile(c)
+            corner = self.mesh.nearest_mem_tile(tile)
+            self._mem_lat.append(
+                machine.mem_round_trip + 2 * self.mesh.latency(tile, corner)
+            )
+        self._tag_walk: dict[int, int] = {}
+        self._line_flits = self.mesh.data_flits(machine.line_bytes)
+        self._word_flits = [
+            self.mesh.data_flits(n * WORD_BYTES)
+            for n in range(machine.words_per_line + 1)
         ]
 
     # -- address arithmetic ---------------------------------------------------
@@ -123,6 +172,8 @@ class Hierarchy:
 
     def l2_latency(self, core: int, line_addr: int) -> int:
         """Core→home-L2-bank round trip (local RT plus mesh hops)."""
+        if self.mesh.faults is None:
+            return self._l2_lat[core][line_addr % self.machine.cores_per_block]
         bank_id = self.l2_bank_global_id(self.block_of_core(core), line_addr)
         return self.machine.l2_bank.round_trip + 2 * self.mesh.core_to_l2(
             core, bank_id
@@ -131,14 +182,21 @@ class Hierarchy:
     def l3_latency(self, core: int, line_addr: int) -> int:
         """Core→home-L3-bank round trip (bank RT plus mesh hops)."""
         assert self.has_l3, "machine has no L3"
+        if self.mesh.faults is None:
+            return self._l3_lat[core][line_addr % len(self.l3_banks)]
         bank = self.l3_bank_id(line_addr)
         return self.machine.l3_bank.round_trip + 2 * self.mesh.core_to_l3(core, bank)
 
     def mem_latency(self, core: int) -> int:
         """Off-chip round trip from *core* via the nearest corner."""
-        tile = self.mesh.core_tile(core)
-        corner = self.mesh.nearest_mem_tile(tile)
-        lat = self.machine.mem_round_trip + 2 * self.mesh.latency(tile, corner)
+        if self.mesh.faults is None:
+            lat = self._mem_lat[core]
+        else:
+            tile = self.mesh.core_tile(core)
+            corner = self.mesh.nearest_mem_tile(tile)
+            lat = self.machine.mem_round_trip + 2 * self.mesh.latency(
+                tile, corner
+            )
         if self.faults is not None:
             # Delayed write-back propagation occupies the memory port; the
             # accrued delay is charged to the next round trip.
@@ -147,18 +205,26 @@ class Hierarchy:
 
     def tag_walk_latency(self, cache: Cache) -> int:
         """Cost of walking a cache's tag array (WB ALL / INV ALL)."""
-        per_cycle = max(1, self.machine.tag_walk_sets_per_cycle)
-        return -(-cache.params.num_sets // per_cycle)
+        num_sets = cache.params.num_sets
+        lat = self._tag_walk.get(num_sets)
+        if lat is None:
+            per_cycle = max(1, self.machine.tag_walk_sets_per_cycle)
+            lat = self._tag_walk[num_sets] = -(-num_sets // per_cycle)
+        return lat
 
     # -- traffic -----------------------------------------------------------------
 
     def count_line_transfer(self, cat: TrafficCat) -> None:
         """Account one full-line data message (header + line payload)."""
-        self.stats.add_traffic(cat, self.mesh.data_flits(self.line_bytes))
+        self.stats.add_traffic(cat, self._line_flits)
 
     def count_partial_transfer(self, cat: TrafficCat, nwords: int) -> None:
         """Account a dirty-words-only data message."""
-        self.stats.add_traffic(cat, self.mesh.data_flits(nwords * WORD_BYTES))
+        if nwords <= self.machine.words_per_line:
+            flits = self._word_flits[nwords]
+        else:
+            flits = self.mesh.data_flits(nwords * WORD_BYTES)
+        self.stats.add_traffic(cat, flits)
 
     def count_control(self, cat: TrafficCat, messages: int = 1) -> None:
         """Account control messages (one flit each)."""

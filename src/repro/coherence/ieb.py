@@ -26,6 +26,11 @@ class IEB:
     def __init__(self, entries: int) -> None:
         self.capacity = entries
         self._addrs: OrderedDict[int, None] = OrderedDict()
+        # Membership bitmask over line addresses (bit ``la`` set while the
+        # line is buffered): the hot-path containment test is one shift/AND
+        # instead of a hash probe.  ``_addrs`` stays the source of FIFO
+        # order; the mask mirrors its key set exactly.
+        self._mask = 0
         # Lines refreshed at least once this epoch: a re-insert of one of
         # these means its IEB entry was evicted and the read just paid a
         # redundant re-invalidation (the Section IV-B.2 overflow cost).
@@ -41,20 +46,22 @@ class IEB:
     def begin_epoch(self) -> None:
         """Arm the IEB for a new epoch; starts empty."""
         self._addrs.clear()
+        self._mask = 0
         self._seen.clear()
         self.armed = True
 
     def end_epoch(self) -> None:
         self.armed = False
         self._addrs.clear()
+        self._mask = 0
         self._seen.clear()
 
     def contains(self, line_addr: int) -> bool:
-        return line_addr in self._addrs
+        return bool(self._mask >> line_addr & 1)
 
     def insert(self, line_addr: int) -> None:
         """Record that *line_addr* is now fresh; evict FIFO on overflow."""
-        if line_addr in self._addrs:
+        if self._mask >> line_addr & 1:
             return
         if self.capacity <= 0:
             return
@@ -69,12 +76,15 @@ class IEB:
         ):
             # Injected displacement: the evicted line's next read pays a
             # redundant re-invalidation — correct but slower.
-            self._addrs.popitem(last=False)
+            evicted, _ = self._addrs.popitem(last=False)
+            self._mask &= ~(1 << evicted)
             self.evictions += 1
         if len(self._addrs) >= self.capacity:
-            self._addrs.popitem(last=False)
+            evicted, _ = self._addrs.popitem(last=False)
+            self._mask &= ~(1 << evicted)
             self.evictions += 1
         self._addrs[line_addr] = None
+        self._mask |= 1 << line_addr
 
     def __len__(self) -> int:
         return len(self._addrs)

@@ -354,8 +354,12 @@ class IncoherentProtocol(Protocol):
         charged in full — "the latency of WB and INV instructions is often
         hard to hide" (Section VII-C).
         """
-        overlap = self.machine.core.overlap
-        return max(1, round(latency * (1.0 - overlap)))
+        cached = self._ov_cache.get(latency)
+        if cached is None:
+            overlap = self.machine.core.overlap
+            cached = max(1, round(latency * (1.0 - overlap)))
+            self._ov_cache[latency] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # WB flavors

@@ -21,6 +21,10 @@ class MEB:
     def __init__(self, entries: int) -> None:
         self.capacity = entries
         self._ids: set[int] = set()
+        # Membership bitmask over buffered IDs (bit ``i`` set while ID *i*
+        # is buffered): the per-write duplicate check is one shift/AND.
+        # ``_ids`` remains the source of ``line_ids()`` iteration order.
+        self._mask = 0
         self.overflowed = False
         self.recording = False
         # Counters for ablation studies.
@@ -33,6 +37,7 @@ class MEB:
     def begin_epoch(self) -> None:
         """Arm recording; clears previous epoch's contents."""
         self._ids.clear()
+        self._mask = 0
         self.overflowed = False
         self.recording = True
 
@@ -43,7 +48,7 @@ class MEB:
         """Called when a clean word is updated (write sets a new dirty bit)."""
         if not self.recording or self.overflowed:
             return
-        if line_id in self._ids:
+        if self._mask >> line_id & 1:
             return
         if self.faults is not None and self.faults.meb_overflow(self.core):
             self.force_overflow()
@@ -53,6 +58,7 @@ class MEB:
             self.overflow_events += 1
             return
         self._ids.add(line_id)
+        self._mask |= 1 << line_id
         self.insertions += 1
 
     def force_overflow(self) -> None:

@@ -17,8 +17,8 @@ none, and a counter lets tests assert that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Iterator
 
 from repro.coherence.base import Protocol
 from repro.coherence.hierarchy import Hierarchy
@@ -26,19 +26,37 @@ from repro.mem.line import CacheLine, MESIState
 from repro.sim.stats import TrafficCat
 
 
+def _iter_bits(mask: int) -> Iterator[int]:
+    """Set bit positions of *mask*, ascending — the directory's presence
+    vector decoded into core/block IDs.  Iterates a snapshot (ints are
+    immutable), so callers may clear bits of the live entry mid-loop."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
 @dataclass
 class L2DirEntry:
-    """Block-level directory state: which cores hold the line, who owns it."""
+    """Block-level directory state: which cores hold the line, who owns it.
 
-    sharers: set[int] = field(default_factory=set)
+    ``sharers`` is a presence bitmask over the block's cores — the literal
+    full-map directory vector (8 bits per entry in the paper's Table) rather
+    than a Python set of core IDs.
+    """
+
+    sharers: int = 0
     owner: int | None = None  # core with the line in M
 
 
 @dataclass
 class L3DirEntry:
-    """Chip-level directory state: which blocks hold the line."""
+    """Chip-level directory state: which blocks hold the line.
 
-    blocks: set[int] = field(default_factory=set)
+    ``blocks`` is a presence bitmask over blocks (4 bits in the paper).
+    """
+
+    blocks: int = 0
     owner_block: int | None = None  # block holding the line dirty
 
 
@@ -121,7 +139,7 @@ class MESIProtocol(Protocol):
             l2_line.dirty_mask |= line.dirty_mask
             hier.count_line_transfer(TrafficCat.WRITEBACK)
         hier.count_control(TrafficCat.INVALIDATION, 2)  # inv + ack
-        entry.sharers.discard(core)
+        entry.sharers &= ~(1 << core)
         if entry.owner == core:
             entry.owner = None
         self.stats.dir_invalidations += 1
@@ -138,13 +156,17 @@ class MESIProtocol(Protocol):
         Returns the latency of the farthest invalidation round trip.
         """
         entry = self._dir2(block, line_addr)
-        targets = [c for c in entry.sharers | {entry.owner} - {None} if c != keep]
+        targets = entry.sharers
+        if entry.owner is not None:
+            targets |= 1 << entry.owner
+        if keep is not None:
+            targets &= ~(1 << keep)
         if not targets:
             return 0
         hier = self.hier
         bank_tile = hier.mesh.l2_bank_tile(hier.l2_bank_global_id(block, line_addr))
         worst = 0
-        for core in targets:
+        for core in _iter_bits(targets):
             self._invalidate_core(core, line_addr, block)
             worst = max(
                 worst,
@@ -174,7 +196,7 @@ class MESIProtocol(Protocol):
         victim = bank.insert(line)
         if victim is not None:
             self._evict_l2_victim(block, victim)
-        self._dir3(line_addr).blocks.add(block)
+        self._dir3(line_addr).blocks |= 1 << block
         return line
 
     def _l3_line(self, line_addr: int) -> CacheLine:
@@ -197,7 +219,10 @@ class MESIProtocol(Protocol):
         la = victim.line_addr
         entry = self._l2_dir[block].pop(la, None)
         if entry is not None:
-            for core in list(entry.sharers | ({entry.owner} - {None})):
+            recall = entry.sharers
+            if entry.owner is not None:
+                recall |= 1 << entry.owner
+            for core in _iter_bits(recall):
                 line = hier.l1s[core].remove(la)
                 if line is not None and line.dirty:
                     victim.data = list(line.data)
@@ -215,7 +240,7 @@ class MESIProtocol(Protocol):
                 hier.count_line_transfer(TrafficCat.MEMORY)
         d3 = self._l3_dir.get(la)
         if d3 is not None:
-            d3.blocks.discard(block)
+            d3.blocks &= ~(1 << block)
             if d3.owner_block == block:
                 d3.owner_block = None
 
@@ -224,7 +249,7 @@ class MESIProtocol(Protocol):
         la = victim.line_addr
         entry = self._l3_dir.pop(la, None)
         if entry is not None:
-            for block in list(entry.blocks):
+            for block in _iter_bits(entry.blocks):
                 bank = self.hier.l2_bank_of(block, la)
                 l2_victim = bank.remove(la)
                 if l2_victim is not None:
@@ -269,7 +294,8 @@ class MESIProtocol(Protocol):
                     hier.count_line_transfer(TrafficCat.WRITEBACK)
                 d3.owner_block = None
             if exclusive:
-                for other in [b for b in self._dir3(line_addr).blocks if b != block]:
+                others = self._dir3(line_addr).blocks & ~(1 << block)
+                for other in _iter_bits(others):
                     inv_lat = self._invalidate_block_sharers(
                         other, line_addr, keep=None
                     )
@@ -281,7 +307,7 @@ class MESIProtocol(Protocol):
                         l3_line.dirty_mask |= l2_victim.dirty_mask
                         hier.count_line_transfer(TrafficCat.WRITEBACK)
                     self._l2_dir[other].pop(line_addr, None)
-                    self._dir3(line_addr).blocks.discard(other)
+                    self._dir3(line_addr).blocks &= ~(1 << other)
                     hier.count_control(TrafficCat.INVALIDATION, 2)
                     lat = max(lat, hier.l3_latency(core, line_addr) + inv_lat)
                 d3 = self._dir3(line_addr)
@@ -329,7 +355,7 @@ class MESIProtocol(Protocol):
             if not entry.sharers and not self._other_block_has(block, line_addr)
             else MESIState.S
         )
-        entry.sharers.add(core)
+        entry.sharers |= 1 << core
         new_line = CacheLine(line_addr, list(l2_line.data), state=state)
         victim = l1.insert(new_line)
         if victim is not None:
@@ -369,7 +395,7 @@ class MESIProtocol(Protocol):
             line.data[word] = value
             line.mark_dirty(word)
             entry = self._dir2(block, line_addr)
-            entry.sharers = {core}
+            entry.sharers = 1 << core
             entry.owner = core
             return self._overlapped(lat)
 
@@ -388,7 +414,7 @@ class MESIProtocol(Protocol):
         if victim is not None:
             self._l1_victim(core, block, victim)
         entry = self._dir2(block, line_addr)
-        entry.sharers = {core}
+        entry.sharers = 1 << core
         entry.owner = core
         if hier.has_l3:
             self._dir3(line_addr).owner_block = block
@@ -406,17 +432,15 @@ class MESIProtocol(Protocol):
         extra messages beyond the fill already charged.
         """
         blocks = (
-            self._dir3(line_addr).blocks
+            _iter_bits(self._dir3(line_addr).blocks)
             if self.hier.has_l3
             else range(self.machine.num_blocks)
         )
-        for b in list(blocks):
+        for b in blocks:
             entry = self._l2_dir[b].get(line_addr)
             if entry is None:
                 continue
-            for sharer in entry.sharers:
-                if sharer == core:
-                    continue
+            for sharer in _iter_bits(entry.sharers & ~(1 << core)):
                 line = self.hier.l1s[sharer].lookup(line_addr, touch=False)
                 if line is not None and line.state == MESIState.E:
                     line.state = MESIState.S
@@ -428,7 +452,7 @@ class MESIProtocol(Protocol):
         d3 = self._l3_dir.get(line_addr)
         if d3 is None:
             return False
-        return any(b != block for b in d3.blocks)
+        return bool(d3.blocks & ~(1 << block))
 
     def _claim_exclusive(self, core: int, block: int, line_addr: int) -> int:
         """Invalidate every other copy chip-wide; return the added latency."""
@@ -445,7 +469,7 @@ class MESIProtocol(Protocol):
         """Handle an L1 replacement: M data goes to L2, presence updated."""
         hier = self.hier
         entry = self._dir2(block, victim.line_addr)
-        entry.sharers.discard(core)
+        entry.sharers &= ~(1 << core)
         if entry.owner == core:
             entry.owner = None
         if victim.dirty:
@@ -458,8 +482,12 @@ class MESIProtocol(Protocol):
 
     def _overlapped(self, latency: int) -> int:
         """ILP / write-buffer latency hiding for L1 hits and stores."""
-        overlap = self.machine.core.overlap
-        return max(1, round(latency * (1.0 - overlap)))
+        cached = self._ov_cache.get(latency)
+        if cached is None:
+            overlap = self.machine.core.overlap
+            cached = max(1, round(latency * (1.0 - overlap)))
+            self._ov_cache[latency] = cached
+        return cached
 
     def _obs_fill(self, core: int, line_addr: int) -> None:
         """Report one L1 fill to the attached observability sinks."""

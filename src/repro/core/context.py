@@ -149,11 +149,11 @@ class ThreadCtx:
     # -- bulk helpers -----------------------------------------------------------------------
 
     def load_many(self, addrs: Iterable[int]) -> OpStream:
-        values = []
-        for addr in addrs:
-            values.append((yield isa.Read(addr)))
+        values = yield isa.ReadBatch(tuple(addrs))
         return values
 
     def store_many(self, pairs: Iterable[tuple[int, Any]]) -> OpStream:
-        for addr, value in pairs:
-            yield isa.Write(addr, value)
+        pairs = tuple(pairs)
+        yield isa.WriteBatch(
+            tuple(a for a, _ in pairs), tuple(v for _, v in pairs)
+        )

@@ -120,6 +120,65 @@ class CPU:
                 cycles = int(op.cycles)
                 stalls[rest] += cycles
                 accumulated += cycles
+            elif kind is isa.ReadBatch:
+                values = []
+                for addr in op.addrs:
+                    if observing and tracer is not None:
+                        tracer.cycle = engine.now + accumulated
+                    lat, value = proto.read(core_id, addr)
+                    stats.loads += 1
+                    stalls[rest] += lat
+                    accumulated += lat
+                    if observing:
+                        self._obs_access("read", tracer, metrics, addr, lat)
+                    values.append(value)
+                send = values
+            elif kind is isa.WriteBatch:
+                for addr, value in zip(op.addrs, op.values, strict=True):
+                    if observing and tracer is not None:
+                        tracer.cycle = engine.now + accumulated
+                    lat = proto.write(core_id, addr, value)
+                    stats.stores += 1
+                    stalls[rest] += lat
+                    accumulated += lat
+                    if observing:
+                        self._obs_access("write", tracer, metrics, addr, lat)
+            elif kind is isa.CopyBatch:
+                for src, dst in zip(op.src_addrs, op.dst_addrs, strict=True):
+                    if observing and tracer is not None:
+                        tracer.cycle = engine.now + accumulated
+                    lat, value = proto.read(core_id, src)
+                    stats.loads += 1
+                    stalls[rest] += lat
+                    accumulated += lat
+                    if observing:
+                        self._obs_access("read", tracer, metrics, src, lat)
+                        if tracer is not None:
+                            tracer.cycle = engine.now + accumulated
+                    lat = proto.write(core_id, dst, value)
+                    stats.stores += 1
+                    stalls[rest] += lat
+                    accumulated += lat
+                    if observing:
+                        self._obs_access("write", tracer, metrics, dst, lat)
+            elif kind is isa.AddBatch:
+                for addr, delta in zip(op.addrs, op.deltas, strict=True):
+                    if observing and tracer is not None:
+                        tracer.cycle = engine.now + accumulated
+                    lat, value = proto.read(core_id, addr)
+                    stats.loads += 1
+                    stalls[rest] += lat
+                    accumulated += lat
+                    if observing:
+                        self._obs_access("read", tracer, metrics, addr, lat)
+                        if tracer is not None:
+                            tracer.cycle = engine.now + accumulated
+                    lat = proto.write(core_id, addr, value + delta)
+                    stats.stores += 1
+                    stalls[rest] += lat
+                    accumulated += lat
+                    if observing:
+                        self._obs_access("write", tracer, metrics, addr, lat)
             elif isinstance(op, isa.SYNC_OPS):
                 self._issue_sync(op, accumulated)
                 return

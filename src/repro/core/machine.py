@@ -46,9 +46,17 @@ class Machine:
         tracer=None,
         metrics=None,
         faults=None,
+        engine: str | None = None,
     ) -> None:
+        from repro.engines import resolve_engine
+
         self.params = params
         self.config = config
+        #: Selected simulator core (:mod:`repro.engines`): ``engine`` names
+        #: a registered :class:`~repro.engines.EngineSpec` (``None`` falls
+        #: back to ``$REPRO_ENGINE``, then ``ref``).  Engines are
+        #: bit-identical by contract; only wall-clock speed differs.
+        self.engine_spec = resolve_engine(engine)
         #: Observability sinks (:mod:`repro.obs`): a per-operation event
         #: Tracer and/or a Metrics registry.  ``None`` (the default) means
         #: disabled; attaching them never changes simulated results — the
@@ -71,7 +79,9 @@ class Machine:
 
         self.engine = Engine()
         self.stats = MachineStats.for_cores(params.num_cores)
-        self.hier = Hierarchy(params, self.stats)
+        self.hier = Hierarchy(
+            params, self.stats, cache_class=self.engine_spec.cache_class
+        )
         self.space = AddressSpace(line_bytes=params.line_bytes)
         self.annotator = Annotator(config)
 
@@ -118,7 +128,7 @@ class Machine:
             )
         core = self.placement.core_of(tid)
         ctx = ThreadCtx(self, tid)
-        cpu = CPU(self, core, tid, program(ctx))
+        cpu = self.engine_spec.cpu_class(self, core, tid, program(ctx))
         self._cpus.append(cpu)
         return tid
 

@@ -1,0 +1,101 @@
+"""Engine registry: selectable simulator cores behind one interface.
+
+An *engine* is a (CPU class, cache class) pair that executes the exact same
+operation streams against the exact same protocol semantics:
+
+* ``ref``  — the reference core (:class:`repro.core.cpu.CPU` over the
+  per-set-dict :class:`repro.mem.cache.Cache`): one protocol call per
+  memory word, the code the semantics documentation points at.
+* ``fast`` — the packed fast-path core (:class:`~repro.engines.fastcpu.
+  FastCPU` over :class:`~repro.engines.fastcache.PackedCache`): flat
+  tag/stamp arrays, fused L1-hit loops, batch macro-ops executed in one
+  dispatch.
+
+The two engines are required to be *bit-identical*: same
+:class:`~repro.sim.stats.MachineStats`, same final-memory digest, same
+traces when tracing is enabled (``tests/engines`` enforces this; the CI
+``fastcore-equivalence`` job runs it on every push).  Because results
+never differ, the sweep result cache is deliberately engine-agnostic.
+
+Selection: pass ``engine="fast"`` to :class:`repro.core.machine.Machine`
+(or ``--engine fast`` on the CLI), or set the ``REPRO_ENGINE`` environment
+variable.  An explicit argument wins over the environment; the default is
+``ref``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.core.cpu import CPU
+from repro.engines.fastcache import PackedCache
+from repro.engines.fastcpu import FastCPU
+from repro.mem.cache import Cache
+
+#: Environment variable consulted when no explicit engine is requested.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Registry default (also used when ``REPRO_ENGINE`` is unset or empty).
+DEFAULT_ENGINE = "ref"
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One selectable simulator core: its CPU and cache implementations."""
+
+    name: str
+    cpu_class: type
+    cache_class: type
+    description: str
+
+
+_REGISTRY: dict[str, EngineSpec] = {}
+
+
+def register_engine(spec: EngineSpec) -> EngineSpec:
+    """Add *spec* to the registry (last registration of a name wins)."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def resolve_engine(name: str | None = None) -> EngineSpec:
+    """Resolve an engine by *name*, the environment, or the default.
+
+    ``None`` falls back to ``$REPRO_ENGINE``, then to ``ref``.  Unknown
+    names raise :class:`~repro.common.errors.ConfigError` listing the
+    registered engines.
+    """
+    if name is None:
+        name = os.environ.get(ENGINE_ENV_VAR) or DEFAULT_ENGINE
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ConfigError(
+            f"unknown engine {name!r} (available: "
+            + ", ".join(available_engines()) + ")"
+        )
+    return spec
+
+
+register_engine(
+    EngineSpec(
+        name="ref",
+        cpu_class=CPU,
+        cache_class=Cache,
+        description="reference core: per-op protocol calls, dict-LRU cache",
+    )
+)
+register_engine(
+    EngineSpec(
+        name="fast",
+        cpu_class=FastCPU,
+        cache_class=PackedCache,
+        description="packed fast-path core: flat arrays, fused L1-hit loops",
+    )
+)

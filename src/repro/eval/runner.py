@@ -118,6 +118,7 @@ def run_intra(
     metrics=None,
     faults=None,
     memory_digest: bool = False,
+    engine: str | None = None,
 ) -> RunResult:
     """Run a Model-1 (SPLASH) workload on the intra-block machine.
 
@@ -134,7 +135,7 @@ def run_intra(
     injector = _make_injector(faults)
     machine = Machine(
         params, config, num_threads=num_threads, tracer=tracer, metrics=metrics,
-        faults=injector,
+        faults=injector, engine=engine,
     )
     workload = MODEL_ONE[app](scale=scale)
     if verify:
@@ -158,6 +159,7 @@ def run_inter(
     metrics=None,
     faults=None,
     memory_digest: bool = False,
+    engine: str | None = None,
 ) -> RunResult:
     """Run a Model-2 (NAS/Jacobi) workload on the inter-block machine.
 
@@ -169,8 +171,8 @@ def run_inter(
     params = machine_params or inter_block_machine(num_blocks, cores_per_block)
     injector = _make_injector(faults)
     machine = Machine(
-        params, config, num_threads=params.num_cores, tracer=tracer, metrics=metrics,
-        faults=injector,
+        params, config, num_threads=params.num_cores, tracer=tracer,
+        metrics=metrics, faults=injector, engine=engine,
     )
     workload = MODEL_TWO[app](scale=scale)
     if verify:
@@ -191,6 +193,7 @@ def run_litmus(
     metrics=None,
     faults=None,
     memory_digest: bool = False,
+    engine: str | None = None,
 ) -> RunResult:
     """Run one litmus kernel (``repro.workloads.litmus``) as a sweep cell.
 
@@ -209,8 +212,8 @@ def run_litmus(
     params = machine_params(kernel)
     injector = _make_injector(faults)
     machine = Machine(
-        params, config, num_threads=kernel.threads, tracer=tracer, metrics=metrics,
-        faults=injector,
+        params, config, num_threads=kernel.threads, tracer=tracer,
+        metrics=metrics, faults=injector, engine=engine,
     )
     arrs, obs = spawn_litmus(kernel, machine)
     stats = machine.run()

@@ -70,6 +70,75 @@ class Compute(Op):
         self.cycles = cycles
 
 
+# -- batched memory accesses ---------------------------------------------------
+#
+# Batch operations are *macro-ops*: each is defined as the exact per-word
+# sequence of ``Read``/``Write`` operations given in its docstring, executed
+# in order, and every engine charges latency, updates cache state, and counts
+# statistics word by word exactly as the scalar sequence would.  They exist
+# so a hot loop can hand the core a whole run of accesses in one generator
+# round-trip instead of one ``yield`` per word — the scalar and batched
+# forms of a program are bit-identical in stats and final memory.
+
+
+class ReadBatch(Op):
+    """Load the words at *addrs* in order; the core sends back the values.
+
+    Equivalent to ``[ (yield Read(a)) for a in addrs ]``.
+    """
+
+    __slots__ = ("addrs",)
+    mnemonic = "ld_batch"
+
+    def __init__(self, addrs) -> None:
+        self.addrs = addrs
+
+
+class WriteBatch(Op):
+    """Store ``values[k]`` to ``addrs[k]`` in order.
+
+    Equivalent to ``Write(a, v)`` per pair; lengths must match.
+    """
+
+    __slots__ = ("addrs", "values")
+    mnemonic = "st_batch"
+
+    def __init__(self, addrs, values) -> None:
+        self.addrs = addrs
+        self.values = values
+
+
+class CopyBatch(Op):
+    """Interleaved copy: ``v = Read(src[k]); Write(dst[k], v)`` per k.
+
+    The value flows inside the core (the program never observes it), which
+    is what makes a scatter/gather permutation batchable at all: the
+    per-word read→write interleaving of the scalar loop is preserved.
+    """
+
+    __slots__ = ("src_addrs", "dst_addrs")
+    mnemonic = "copy_batch"
+
+    def __init__(self, src_addrs, dst_addrs) -> None:
+        self.src_addrs = src_addrs
+        self.dst_addrs = dst_addrs
+
+
+class AddBatch(Op):
+    """Accumulate: ``v = Read(a[k]); Write(a[k], v + deltas[k])`` per k.
+
+    The read-modify-write interleaving of a scalar accumulation loop is
+    preserved; the deltas are computed by the program before issue.
+    """
+
+    __slots__ = ("addrs", "deltas")
+    mnemonic = "add_batch"
+
+    def __init__(self, addrs, deltas) -> None:
+        self.addrs = addrs
+        self.deltas = deltas
+
+
 # -- writeback flavors (Section III-B, V) ------------------------------------
 
 
@@ -277,6 +346,10 @@ class EpochEnd(Op):
 
 #: Operation classes that read or write a single explicit word address.
 ADDRESSED_OPS = (Read, Write)
+
+#: Batched macro-ops; every engine and the analyzer expand these to their
+#: defining per-word Read/Write sequence.
+BATCH_OPS = (ReadBatch, WriteBatch, CopyBatch, AddBatch)
 
 #: WB-family operations, used by accounting and by the write buffer model.
 WB_OPS = (WB, WBAll, WBCons, WBConsAll, WBL3, WBAllL3)

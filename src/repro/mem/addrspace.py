@@ -104,6 +104,7 @@ class SharedArray:
         self._row_words = row_words
         total = shape[0] * row_words if len(shape) == 2 else shape[0]
         self.alloc = space.alloc(name, total)
+        self._base = self.alloc.base
 
     def __len__(self) -> int:
         return self.shape[0]
@@ -117,17 +118,18 @@ class SharedArray:
 
     def addr(self, i: int, j: int | None = None) -> int:
         """Byte address of element (i) or (i, j)."""
-        if len(self.shape) == 1:
-            if j is not None:
-                raise AddressError(f"{self.name} is 1-D")
-            if not 0 <= i < self.shape[0]:
-                raise AddressError(f"{self.name}[{i}] out of range {self.shape}")
-            return self.alloc.base + i * WORD_BYTES
+        shape = self.shape
         if j is None:
-            raise AddressError(f"{self.name} is 2-D; need two indices")
-        if not (0 <= i < self.shape[0] and 0 <= j < self.shape[1]):
-            raise AddressError(f"{self.name}[{i},{j}] out of range {self.shape}")
-        return self.alloc.base + (i * self._row_words + j) * WORD_BYTES
+            if len(shape) != 1:
+                raise AddressError(f"{self.name} is 2-D; need two indices")
+            if 0 <= i < shape[0]:
+                return self._base + i * WORD_BYTES
+            raise AddressError(f"{self.name}[{i}] out of range {shape}")
+        if len(shape) == 1:
+            raise AddressError(f"{self.name} is 1-D")
+        if 0 <= i < shape[0] and 0 <= j < shape[1]:
+            return self._base + (i * self._row_words + j) * WORD_BYTES
+        raise AddressError(f"{self.name}[{i},{j}] out of range {shape}")
 
     def row_range(self, i: int) -> tuple[int, int]:
         """(byte address, byte length) of logical row *i* (2-D only)."""

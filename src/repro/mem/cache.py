@@ -20,7 +20,7 @@ from repro.mem.line import CacheLine
 class Cache:
     """One cache (or one bank of a banked cache)."""
 
-    __slots__ = ("params", "name", "_sets", "_set_mask")
+    __slots__ = ("params", "name", "_sets", "_set_mask", "_ways")
 
     def __init__(self, params: CacheParams, name: str = "cache") -> None:
         self.params = params
@@ -31,6 +31,10 @@ class Cache:
         # CacheParams guarantees num_sets is a power of two, so set indexing
         # is a mask rather than a modulo (hot path: every lookup/insert).
         self._set_mask = params.num_sets - 1
+        # Physical way of each resident line.  A line keeps its way from
+        # insertion to eviction — LRU touches reorder the recency dict, not
+        # the tag array — so line IDs are stable, as in hardware.
+        self._ways: dict[int, int] = {}
 
     # -- geometry -----------------------------------------------------------
 
@@ -40,14 +44,17 @@ class Cache:
     def line_id(self, line_addr: int) -> int:
         """Position of a resident line in the tag array: set*assoc + way.
 
-        Used by the MEB, whose entries are line IDs (9 bits for a 32 KB /
-        64 B-line cache) rather than full addresses.
+        Sized by the MEB, whose entries are line IDs (9 bits for a 32 KB /
+        64 B-line cache) rather than full addresses.  The ID is stable for
+        the whole residency of the line: LRU touches do not move it.
         """
-        idx = self.set_index(line_addr)
-        for way, tag in enumerate(self._sets[idx]):
-            if tag == line_addr:
-                return idx * self.params.assoc + way
-        raise KeyError(f"line {line_addr:#x} not resident in {self.name}")
+        try:
+            way = self._ways[line_addr]
+        except KeyError:
+            raise KeyError(
+                f"line {line_addr:#x} not resident in {self.name}"
+            ) from None
+        return self.set_index(line_addr) * self.params.assoc + way
 
     # -- lookup / insert ----------------------------------------------------
 
@@ -69,17 +76,26 @@ class Cache:
         s = self._sets[line.line_addr & self._set_mask]
         victim: CacheLine | None = None
         if line.line_addr in s:
-            del s[line.line_addr]
+            del s[line.line_addr]  # replace in place: the way is unchanged
         elif len(s) >= self.params.assoc:
             oldest = next(iter(s))
             victim = s.pop(oldest)
+            self._ways[line.line_addr] = self._ways.pop(oldest)
+        else:
+            used = {self._ways[la] for la in s}
+            self._ways[line.line_addr] = next(
+                w for w in range(self.params.assoc) if w not in used
+            )
         s[line.line_addr] = line
         return victim
 
     def remove(self, line_addr: int) -> CacheLine | None:
         """Invalidate (drop) a line; return it if it was resident."""
         s = self._sets[line_addr & self._set_mask]
-        return s.pop(line_addr, None)
+        line = s.pop(line_addr, None)
+        if line is not None:
+            del self._ways[line_addr]
+        return line
 
     # -- traversal ----------------------------------------------------------
 
@@ -103,6 +119,7 @@ class Cache:
                     on_evict(line)
             n += len(s)
             s.clear()
+        self._ways.clear()
         return n
 
     @property

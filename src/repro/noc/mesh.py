@@ -12,8 +12,6 @@ event counts and hierarchy levels, not link occupancy (DESIGN.md §2).
 
 from __future__ import annotations
 
-import math
-
 from repro.common.errors import ConfigError
 from repro.common.params import MachineParams, MeshParams
 
@@ -39,13 +37,35 @@ class Mesh:
         ]
         # Optional fault injector (repro.faults); None = no hook overhead.
         self.faults = None
+        # Geometry is static, so all tile coordinates and fault-free
+        # latencies are precomputed.  The tables hold exactly what the
+        # formula-based helpers below produce with no injector armed; the
+        # helpers consult them only in that case, so armed runs still take
+        # the hooked path (NoC jitter applies per message, not per table).
+        self._tiles = [divmod(c, self.dim) for c in range(machine.num_cores)]
+        cph = self.params.cycles_per_hop
+        self._core_l2_lat = [
+            [self._hops(a, b) * cph for b in self._tiles] for a in self._tiles
+        ]
+        self._core_l3_lat = [
+            [self._hops(a, b) * cph for b in self._l3_tiles]
+            for a in self._tiles
+        ]
+        self._nearest_corner = {
+            tile: min(corners, key=lambda t: self._hops(tile, t))
+            for tile in set(self._tiles)
+        }
+
+    @staticmethod
+    def _hops(a: tuple[int, int], b: tuple[int, int]) -> int:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
 
     # -- tile coordinates ---------------------------------------------------
 
     def core_tile(self, core_id: int) -> tuple[int, int]:
         if not 0 <= core_id < self.machine.num_cores:
             raise ConfigError(f"core {core_id} out of range")
-        return divmod(core_id, self.dim)
+        return self._tiles[core_id]
 
     def l2_bank_tile(self, bank: int) -> tuple[int, int]:
         """L2 banks are co-located with cores (one bank per core)."""
@@ -61,7 +81,10 @@ class Mesh:
         return self._corner_tiles[which % 4]
 
     def nearest_mem_tile(self, from_tile: tuple[int, int]) -> tuple[int, int]:
-        return min(self._corner_tiles, key=lambda t: self.hops_between(from_tile, t))
+        corner = self._nearest_corner.get(from_tile)
+        if corner is not None:
+            return corner
+        return min(self._corner_tiles, key=lambda t: self._hops(from_tile, t))
 
     # -- latency ------------------------------------------------------------
 
@@ -79,9 +102,13 @@ class Mesh:
         return lat
 
     def core_to_l2(self, core_id: int, bank: int) -> int:
+        if self.faults is None:
+            return self._core_l2_lat[core_id][bank]
         return self.latency(self.core_tile(core_id), self.l2_bank_tile(bank))
 
     def core_to_l3(self, core_id: int, bank: int) -> int:
+        if self.faults is None:
+            return self._core_l3_lat[core_id][bank]
         return self.latency(self.core_tile(core_id), self.l3_bank_tile(bank))
 
     def l2_to_l3(self, l2_bank: int, l3_bank: int) -> int:
@@ -111,4 +138,5 @@ class Mesh:
 
     def data_flits(self, payload_bytes: int) -> int:
         """Data message: header flit plus payload flits."""
-        return 1 + math.ceil(payload_bytes / self.params.link_bytes)
+        link = self.params.link_bytes
+        return 1 + (payload_bytes + link - 1) // link

@@ -19,14 +19,25 @@ from repro.common.errors import DeadlockError, SimulationError
 
 
 class Engine:
-    """Time-ordered callback executor with deadlock detection."""
+    """Time-ordered callback executor with deadlock detection.
 
-    __slots__ = ("_now", "_seq", "_queue", "_live_entities")
+    The wheel is bucketed: callbacks are appended to a per-time list and a
+    heap orders only the *distinct* times.  Equal-time callbacks run in
+    scheduling order (the list is FIFO), exactly as the earlier
+    ``(time, seq, callback)`` tuple heap did, but without allocating a
+    tuple per event or comparing sequence numbers on every sift — barrier
+    releases and back-to-back zero-delay steps share one bucket.
+    """
+
+    __slots__ = ("_now", "_seq", "_times", "_buckets", "_live_entities")
 
     def __init__(self) -> None:
         self._now: int = 0
         self._seq: int = 0
-        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        #: Min-heap of distinct pending times (each pushed exactly once).
+        self._times: list[int] = []
+        #: time -> FIFO list of callbacks scheduled for that time.
+        self._buckets: dict[int, list[Callable[[], None]]] = {}
         #: Number of entities (cores) that have not finished their program.
         self._live_entities: int = 0
 
@@ -71,7 +82,13 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+        when = self._now + delay
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [callback]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(callback)
 
     def run(self, max_cycles: int | None = None) -> int:
         """Drain the event queue; return the finishing time in cycles.
@@ -82,26 +99,28 @@ class Engine:
         simulated program deadlocked (e.g. a barrier some thread never
         reaches).
         """
-        # The pop loop is the simulator's innermost loop: bind the queue and
+        # The pop loop is the simulator's innermost loop: bind the heap and
         # heappop locally and skip the max_cycles comparison entirely in the
-        # (default) unbounded case.
-        queue = self._queue
+        # (default) unbounded case.  A bucket may grow while it drains
+        # (zero-delay callbacks land at the current time), so it is walked
+        # by index and only removed from the dict once exhausted.
+        times = self._times
+        buckets = self._buckets
         heappop = heapq.heappop
-        if max_cycles is None:
-            while queue:
-                time, _, callback = heappop(queue)
-                self._now = time
-                callback()
-        else:
-            while queue:
-                time, _, callback = heappop(queue)
-                if time > max_cycles:
-                    raise SimulationError(
-                        f"simulation exceeded max_cycles={max_cycles} "
-                        f"(next event at {time})"
-                    )
-                self._now = time
-                callback()
+        while times:
+            time = heappop(times)
+            if max_cycles is not None and time > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={max_cycles} "
+                    f"(next event at {time})"
+                )
+            self._now = time
+            bucket = buckets[time]
+            i = 0
+            while i < len(bucket):
+                bucket[i]()
+                i += 1
+            del buckets[time]
         if self._live_entities > 0:
             raise DeadlockError(
                 f"{self._live_entities} entities still blocked with no pending "

@@ -51,17 +51,29 @@ class SyncController:
         machine = mesh.machine
         self._at_l3 = machine.num_l3_banks > 0
         self._num_banks = machine.num_l3_banks if self._at_l3 else machine.num_cores
+        # Fault-free one-way latency table (static geometry, like the
+        # hierarchy's tables); armed runs take the formula path below.
+        self._one_way_lat = [
+            [
+                mesh.latency(mesh.core_tile(c), self._bank_tile(b))
+                for b in range(self._num_banks)
+            ]
+            for c in range(machine.num_cores)
+        ]
 
     # -- placement / latency ---------------------------------------------------
 
-    def _bank_tile(self, var_id: int) -> tuple[int, int]:
-        bank = var_id % self._num_banks
+    def _bank_tile(self, bank: int) -> tuple[int, int]:
         if self._at_l3:
             return self.mesh.l3_bank_tile(bank)
         return self.mesh.l2_bank_tile(bank)
 
     def _one_way(self, core: int, var_id: int) -> int:
-        return self.mesh.latency(self.mesh.core_tile(core), self._bank_tile(var_id))
+        if self.mesh.faults is None:
+            return self._one_way_lat[core][var_id % self._num_banks]
+        return self.mesh.latency(
+            self.mesh.core_tile(core), self._bank_tile(var_id % self._num_banks)
+        )
 
     def _count_msg(self) -> None:
         # Synchronization requests are uncacheable control flits, tracked

@@ -69,6 +69,9 @@ class Barnes(ModelOneWorkload):
         for i in range(n):
             mem.write_word(self.pos.addr(i) // 4, float(self.x0[i]))
             mem.write_word(self.vel.addr(i) // 4, float(self.v0[i]))
+        self._paddr = [self.pos.addr(i) for i in range(n)]
+        self._vaddr = [self.vel.addr(i) for i in range(n)]
+        self._clear_addrs = tuple(self.cell_count.addr(cell) for cell in range(c))
         machine.spawn_all(self._program)
 
     def _own(self, t: int, nt: int) -> range:
@@ -94,8 +97,7 @@ class Barnes(ModelOneWorkload):
         for _ in range(self.steps):
             # Phase 0: one thread clears cell counts (cheap, serial-ish).
             if t == 0:
-                for cell in range(nc):
-                    yield isa.Write(ccount.addr(cell), 0)
+                yield isa.WriteBatch(self._clear_addrs, (0,) * nc)
             yield from ctx.barrier()
             # Phase 1: bin own bodies (tree build) — per-cell critical
             # sections; the lists are consumed outside critical sections.
@@ -133,12 +135,13 @@ class Barnes(ModelOneWorkload):
                 forces[i] = f
             yield from ctx.barrier()
             # Phase 3: integrate own bodies from the snapshot forces.
+            paddr, vaddr = self._paddr, self._vaddr
             for i in own:
-                xi = yield isa.Read(pos.addr(i))
-                v = yield isa.Read(vel.addr(i))
+                xi, v = yield isa.ReadBatch((paddr[i], vaddr[i]))
                 v_new = v + forces[i] * self.dt
-                yield isa.Write(vel.addr(i), v_new)
-                yield isa.Write(pos.addr(i), xi + v_new * self.dt)
+                yield isa.WriteBatch(
+                    (vaddr[i], paddr[i]), (v_new, xi + v_new * self.dt)
+                )
             yield from ctx.barrier()
 
     def verify(self, machine: Machine) -> None:

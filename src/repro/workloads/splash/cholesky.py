@@ -81,6 +81,8 @@ class Cholesky(ModelOneWorkload):
         for i in range(n):
             for j in range(n):
                 mem.write_word(self.mat.addr(i, j) // 4, float(self.input[i, j]))
+        #: Element-address table for assembling per-task batch address lists.
+        self._M = [[self.mat.addr(i, j) for j in range(n)] for i in range(n)]
         machine.spawn_all(self._program)
 
     def _program(self, ctx):
@@ -113,19 +115,19 @@ class Cholesky(ModelOneWorkload):
             else:
                 # update(k, j): needs the finalized column k.
                 yield from ctx.flag_wait(_FIN_FLAG_BASE + k)
-                ljk = yield isa.Read(mat.addr(j, k))
-                col = []
-                for i in range(j, n):
-                    v = yield isa.Read(mat.addr(i, k))
-                    col.append(v)
+                M = self._M
+                ljk = yield isa.Read(M[j][k])
+                col = yield isa.ReadBatch(tuple(M[i][k] for i in range(j, n)))
                 yield isa.Compute(2 * (n - j))
-                # Apply onto column j under the per-column lock.
+                # Apply onto column j under the per-column lock.  AddBatch
+                # interleaves read/write per element like the scalar loop,
+                # and ``cur + (-(lik*ljk))`` is bitwise ``cur - lik*ljk``.
                 lid = _COL_LOCK_BASE + j
                 yield from ctx.lock_acquire(lid, occ=True)
-                for off, lik in enumerate(col):
-                    i = j + off
-                    cur = yield isa.Read(mat.addr(i, j))
-                    yield isa.Write(mat.addr(i, j), cur - lik * ljk)
+                yield isa.AddBatch(
+                    tuple(M[j + off][j] for off in range(len(col))),
+                    tuple(-(lik * ljk) for lik in col),
+                )
                 cnt = yield isa.Read(self.upd_count.addr(j))
                 yield isa.Write(self.upd_count.addr(j), cnt + 1)
                 yield from ctx.lock_release(lid, occ=True)

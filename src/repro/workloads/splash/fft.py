@@ -51,6 +51,16 @@ class FFT(ModelOneWorkload):
         self.bits = self.n.bit_length() - 1
         rng = make_rng("fft")
         self.input = (rng.random(self.n) + 1j * rng.random(self.n)).tolist()
+        # Hoisted per-element tables: the bit-reversal permutation and the
+        # per-stage twiddle factors depend only on ``n``, so computing them
+        # once here (instead of per butterfly) keeps the generators lean.
+        # The twiddle values are the exact ``cmath.exp`` results the inner
+        # loop used to compute, so written values are bitwise unchanged.
+        self.rev = [bit_reverse(i, self.bits) for i in range(self.n)]
+        self.twiddle = [
+            [cmath.exp(-2j * cmath.pi * j / (2 << s)) for j in range(1 << s)]
+            for s in range(self.bits)
+        ]
 
     def prepare(self, machine: Machine) -> None:
         if self.n % (2 * machine.num_threads):
@@ -70,14 +80,19 @@ class FFT(ModelOneWorkload):
         t, nt = ctx.tid, ctx.nthreads
         chunk = n // nt
         lo, hi = t * chunk, (t + 1) * chunk
-        src, work = self.src, self.work
+        src_addr, work_addr = self.src.addr, self.work.addr
+        waddrs = [work_addr(i) for i in range(n)]
 
         # Epoch 0: bit-reversal permutation into the work array.  Each
         # thread writes its chunk of the destination, reading scattered
         # source elements (no producer yet: input preloaded in memory).
-        for i in range(lo, hi):
-            v = yield isa.Read(src.addr(bit_reverse(i, bits)))
-            yield isa.Write(work.addr(i), v)
+        # The whole permutation is one CopyBatch: the per-element
+        # read-source/write-destination interleaving is its definition.
+        rev = self.rev
+        yield isa.CopyBatch(
+            tuple(src_addr(rev[i]) for i in range(lo, hi)),
+            tuple(waddrs[lo:hi]),
+        )
         yield from ctx.barrier()
 
         # Butterfly stages.  Stage s pairs elements 2**s apart; each thread
@@ -85,6 +100,7 @@ class FFT(ModelOneWorkload):
         for s in range(bits):
             half = 1 << s
             span = half << 1
+            twiddle = self.twiddle[s]
             # Iterate over this thread's share of butterflies.
             total_butterflies = n // 2
             bchunk = total_butterflies // nt
@@ -92,13 +108,10 @@ class FFT(ModelOneWorkload):
                 group = b // half
                 j = b % half
                 idx_a = group * span + j
-                idx_b = idx_a + half
-                tw = cmath.exp(-2j * cmath.pi * j / span)
-                va = yield isa.Read(work.addr(idx_a))
-                vb = yield isa.Read(work.addr(idx_b))
-                vb = vb * tw
-                yield isa.Write(work.addr(idx_a), va + vb)
-                yield isa.Write(work.addr(idx_b), va - vb)
+                ab = (waddrs[idx_a], waddrs[idx_a + half])
+                va, vb = yield isa.ReadBatch(ab)
+                vb = vb * twiddle[j]
+                yield isa.WriteBatch(ab, (va + vb, va - vb))
                 yield isa.Compute(8)  # twiddle multiply FLOPs
             yield from ctx.barrier()
 

@@ -105,59 +105,87 @@ class _LUBase(ModelOneWorkload):
         for i in range(n):
             for j in range(n):
                 mem.write_word(self.mat.addr(i, j) // 4, float(self.input[i, j]))
+        #: Element-address table: the kernels below assemble ReadBatch
+        #: address lists by plain list indexing instead of method calls.
+        self._A = [[self.mat.addr(i, j) for j in range(n)] for i in range(n)]
         machine.spawn_all(self._program)
 
     # -- simulated kernels (one block each) ----------------------------------
 
+    # Each kernel batches its reads into one ReadBatch per output element,
+    # listing addresses in exactly the order the scalar loops read them;
+    # the dot products subtract term by term so written values stay
+    # bitwise identical to the scalar form.
+
     def _factor_diag(self, o: int):
-        mat, bs = self.mat, self.block
+        A, bs = self._A, self.block
         for kk in range(bs):
-            pivot = yield isa.Read(mat.addr(o + kk, o + kk))
+            ok = o + kk
+            row_k = A[ok]
+            pivot = yield isa.Read(row_k[ok])
             for i in range(kk + 1, bs):
-                v = yield isa.Read(mat.addr(o + i, o + kk))
+                row_i = A[o + i]
+                v = yield isa.Read(row_i[ok])
                 lik = v / pivot
-                yield isa.Write(mat.addr(o + i, o + kk), lik)
+                yield isa.Write(row_i[ok], lik)
                 for j in range(kk + 1, bs):
-                    akj = yield isa.Read(mat.addr(o + kk, o + j))
-                    aij = yield isa.Read(mat.addr(o + i, o + j))
-                    yield isa.Write(mat.addr(o + i, o + j), aij - lik * akj)
+                    oj = o + j
+                    akj, aij = yield isa.ReadBatch((row_k[oj], row_i[oj]))
+                    yield isa.Write(row_i[oj], aij - lik * akj)
             yield isa.Compute(2 * bs)
 
     def _solve_col_panel(self, ro: int, o: int):
-        mat, bs = self.mat, self.block
+        A, bs = self._A, self.block
         for r in range(bs):
+            row = A[ro + r]
             for kk in range(bs):
-                s = yield isa.Read(mat.addr(ro + r, o + kk))
+                ok = o + kk
+                addrs = [row[ok]]
                 for m in range(kk):
-                    x = yield isa.Read(mat.addr(ro + r, o + m))
-                    u = yield isa.Read(mat.addr(o + m, o + kk))
+                    addrs.append(row[o + m])
+                    addrs.append(A[o + m][ok])
+                addrs.append(A[ok][ok])
+                vals = yield isa.ReadBatch(addrs)
+                s = vals[0]
+                for x, u in zip(vals[1:-1:2], vals[2:-1:2]):
                     s -= x * u
-                d = yield isa.Read(mat.addr(o + kk, o + kk))
-                yield isa.Write(mat.addr(ro + r, o + kk), s / d)
+                yield isa.Write(row[ok], s / vals[-1])
             yield isa.Compute(2 * bs)
 
     def _solve_row_panel(self, o: int, co: int):
-        mat, bs = self.mat, self.block
+        A, bs = self._A, self.block
         for c in range(bs):
+            cc = co + c
             for kk in range(bs):
-                s = yield isa.Read(mat.addr(o + kk, co + c))
+                row_k = A[o + kk]
+                addrs = [row_k[cc]]
                 for m in range(kk):
-                    l = yield isa.Read(mat.addr(o + kk, o + m))
-                    y = yield isa.Read(mat.addr(o + m, co + c))
+                    addrs.append(row_k[o + m])
+                    addrs.append(A[o + m][cc])
+                vals = yield isa.ReadBatch(addrs)
+                s = vals[0]
+                for l, y in zip(vals[1::2], vals[2::2]):
                     s -= l * y
-                yield isa.Write(mat.addr(o + kk, co + c), s)
+                yield isa.Write(row_k[cc], s)
             yield isa.Compute(2 * bs)
 
     def _trailing(self, ro: int, co: int, o: int):
-        mat, bs = self.mat, self.block
+        A, bs = self._A, self.block
         for r in range(bs):
+            row = A[ro + r]
+            lrow = row[o : o + bs]
+            crows = [A[o + m] for m in range(bs)]
             for c in range(bs):
-                s = yield isa.Read(mat.addr(ro + r, co + c))
+                cc = co + c
+                addrs = [row[cc]]
                 for m in range(bs):
-                    l = yield isa.Read(mat.addr(ro + r, o + m))
-                    u = yield isa.Read(mat.addr(o + m, co + c))
+                    addrs.append(lrow[m])
+                    addrs.append(crows[m][cc])
+                vals = yield isa.ReadBatch(addrs)
+                s = vals[0]
+                for l, u in zip(vals[1::2], vals[2::2]):
                     s -= l * u
-                yield isa.Write(mat.addr(ro + r, co + c), s)
+                yield isa.Write(row[cc], s)
             yield isa.Compute(2 * bs)
 
     def _program(self, ctx):

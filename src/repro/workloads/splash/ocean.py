@@ -59,6 +59,11 @@ class _OceanBase(ModelOneWorkload):
         for i in range(self.rows):
             for j in range(self.cols):
                 mem.write_word(self.grid.addr(i, j) // 4, float(self.input[i, j]))
+        #: Cell-address table for assembling per-cell stencil ReadBatches.
+        self._G = [
+            [self.grid.addr(i, j) for j in range(self.cols)]
+            for i in range(self.rows)
+        ]
         machine.spawn_all(self._program)
 
     def _row_range(self, t: int, nt: int) -> tuple[int, int]:
@@ -70,21 +75,20 @@ class _OceanBase(ModelOneWorkload):
         return lo, hi
 
     def _sweep(self, t, nt, parity):
-        grid = self.grid
+        G = self._G
         lo, hi = self._row_range(t, nt)
         local_err = 0.0
         for i in range(lo, hi):
-            for j in range(1, self.cols - 1):
-                if (i + j) % 2 != parity:
-                    continue
-                n = yield isa.Read(grid.addr(i - 1, j))
-                s = yield isa.Read(grid.addr(i + 1, j))
-                w = yield isa.Read(grid.addr(i, j - 1))
-                e = yield isa.Read(grid.addr(i, j + 1))
-                c = yield isa.Read(grid.addr(i, j))
+            up, row, dn = G[i - 1], G[i], G[i + 1]
+            # One ReadBatch per stencil, addresses in the scalar read
+            # order N, S, W, E, C.
+            for j in range(2 - (i + parity) % 2, self.cols - 1, 2):
+                n, s, w, e, c = yield isa.ReadBatch(
+                    (up[j], dn[j], row[j - 1], row[j + 1], row[j])
+                )
                 new = 0.25 * (n + s + w + e)
                 local_err += abs(new - c)
-                yield isa.Write(grid.addr(i, j), new)
+                yield isa.Write(row[j], new)
             yield isa.Compute(self.cols)
         return local_err
 

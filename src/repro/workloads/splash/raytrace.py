@@ -98,11 +98,16 @@ class Raytrace(ModelOneWorkload):
         for s, sph in enumerate(self.spheres):
             for w, v in enumerate(sph):
                 mem.write_word(self.scene.addr(s * _SPHERE_WORDS + w) // 4, v)
+        #: Every pixel reads the whole read-only scene in the same order —
+        #: one shared address tuple serves every ReadBatch.
+        self._scene_addrs = tuple(
+            self.scene.addr(k) for k in range(self.n_spheres * _SPHERE_WORDS)
+        )
         machine.spawn_all(self._program)
 
     def _program(self, ctx):
         t = ctx.tid
-        scene, image, queue = self.scene, self.image, self.queue
+        image, queue = self.image, self.queue
         yield from ctx.barrier()
         tiles_done = 0
         while True:
@@ -116,17 +121,15 @@ class Raytrace(ModelOneWorkload):
                 break
             lo = tile * self.pixels_per_tile
             hi = min(lo + self.pixels_per_tile, self.n_pixels)
+            scene_addrs = self._scene_addrs
             for p in range(lo, hi):
                 px = float(p % self.width) + 0.5
                 py = float(p // self.width) + 0.5
-                spheres = []
-                for s in range(self.n_spheres):
-                    rec = []
-                    for w in range(_SPHERE_WORDS):
-                        rec.append(
-                            (yield isa.Read(scene.addr(s * _SPHERE_WORDS + w)))
-                        )
-                    spheres.append(tuple(rec))
+                flat = yield isa.ReadBatch(scene_addrs)
+                spheres = [
+                    tuple(flat[k : k + _SPHERE_WORDS])
+                    for k in range(0, len(flat), _SPHERE_WORDS)
+                ]
                 shade = _trace_pixel(px, py, spheres)
                 yield isa.Compute(4 * self.n_spheres)
                 yield isa.Write(image.addr(p), shade)

@@ -61,6 +61,12 @@ class Volrend(ModelOneWorkload):
         for s in range(ns):
             for k in range(ss):
                 mem.write_word(self.vox.addr(s, k) // 4, float(self.volume[s, k]))
+        #: Per-slab voxel-read and whole-profile opacity-read address
+        #: tuples, hoisted for the phase ReadBatches below.
+        self._slab_addrs = [
+            tuple(self.vox.addr(s, k) for k in range(ss)) for s in range(ns)
+        ]
+        self._opac_addrs = tuple(self.opacity.addr(s) for s in range(ns))
         machine.spawn_all(self._program)
 
     @staticmethod
@@ -90,9 +96,7 @@ class Volrend(ModelOneWorkload):
             yield from ctx.lock_release(_Q1_LOCK, occ=True)
             if task >= self.n_slabs:
                 break
-            samples = []
-            for k in range(self.slab_size):
-                samples.append((yield isa.Read(self.vox.addr(int(task), k))))
+            samples = yield isa.ReadBatch(self._slab_addrs[int(task)])
             yield isa.Compute(2 * self.slab_size)
             yield isa.Write(self.opacity.addr(int(task)), self._slab_opacity(samples))
         yield from ctx.barrier()
@@ -104,9 +108,7 @@ class Volrend(ModelOneWorkload):
             yield from ctx.lock_release(_Q2_LOCK, occ=True)
             if task >= self.n_columns:
                 break
-            opacities = []
-            for s in range(self.n_slabs):
-                opacities.append((yield isa.Read(self.opacity.addr(s))))
+            opacities = yield isa.ReadBatch(self._opac_addrs)
             yield isa.Compute(self.n_slabs)
             yield isa.Write(
                 self.image.addr(int(task)), self._column_value(int(task), opacities)

@@ -87,6 +87,18 @@ class _WaterBase(ModelOneWorkload):
         for i in range(n):
             mem.write_word(self.pos.addr(i) // 4, float(self.x0[i]))
             mem.write_word(self.vel.addr(i) // 4, float(self.v0[i]))
+        # Pair lists depend only on the initial positions, so both the
+        # partner indices and the phase-2 position-read address tuples
+        # (own molecule first, then partners in ascending order — the
+        # scalar read order) can be hoisted out of the hot loop.
+        self._pairs = [self._pairs_of(i) for i in range(n)]
+        paddr = [self.pos.addr(i) for i in range(n)]
+        self._paddr = paddr
+        self._vaddr = [self.vel.addr(i) for i in range(n)]
+        self._faddr = [self.force.addr(i) for i in range(n)]
+        self._p2_addrs = [
+            (paddr[i], *(paddr[j] for j in self._pairs[i])) for i in range(n)
+        ]
         machine.spawn_all(self._program)
 
     def _own(self, t: int, nt: int) -> range:
@@ -96,26 +108,32 @@ class _WaterBase(ModelOneWorkload):
 
     def _program(self, ctx):
         t, nt = ctx.tid, ctx.nthreads
-        pos, vel, force = self.pos, self.vel, self.force
         own = self._own(t, nt)
+        pairs, p2_addrs = self._pairs, self._p2_addrs
+        paddr, vaddr, faddr = self._paddr, self._vaddr, self._faddr
+        own_faddrs = tuple(faddr[i] for i in own)
+        zeros = (0.0,) * len(own_faddrs)
         for _ in range(self.steps):
             # Phase 1: zero own force slots.
-            for i in own:
-                yield isa.Write(force.addr(i), 0.0)
+            yield isa.WriteBatch(own_faddrs, zeros)
             yield from ctx.barrier()
             # Phase 2: pair interactions.  Like SPLASH-2 Water, partial
             # forces are first accumulated in a thread-private scratch and
             # merged into the shared array once per touched molecule, each
-            # merge inside that molecule's critical section.
+            # merge inside that molecule's critical section.  Each
+            # molecule's position reads (self, then ascending partners)
+            # form one ReadBatch; the per-pair FLOP charge is coalesced.
             local: dict[int, float] = {}
             for i in own:
-                xi = yield isa.Read(pos.addr(i))
-                for j in self._pairs_of(i):
-                    xj = yield isa.Read(pos.addr(j))
+                vals = yield isa.ReadBatch(p2_addrs[i])
+                xi = vals[0]
+                js = pairs[i]
+                for j, xj in zip(js, vals[1:], strict=True):
                     f = _pair_force(xi, xj, self.box)
-                    yield isa.Compute(40)
                     local[i] = local.get(i, 0.0) + f
                     local[j] = local.get(j, 0.0) - f
+                if js:
+                    yield isa.Compute(40 * len(js))
             own_set = set(own)
             for mol in sorted(local):
                 if mol in own_set:
@@ -125,20 +143,19 @@ class _WaterBase(ModelOneWorkload):
                     continue
                 lid = _MOL_LOCK_BASE + mol
                 yield from ctx.lock_acquire(lid, occ=False)
-                cur = yield isa.Read(force.addr(mol))
-                yield isa.Write(force.addr(mol), cur + local[mol])
+                cur = yield isa.Read(faddr[mol])
+                yield isa.Write(faddr[mol], cur + local[mol])
                 yield from ctx.lock_release(lid, occ=False)
             yield from ctx.barrier()
             # Phase 3: integrate own molecules (adding the deferred own
             # contributions — no other thread touches forces now).
             for i in own:
-                f = yield isa.Read(force.addr(i))
+                f, v, x = yield isa.ReadBatch((faddr[i], vaddr[i], paddr[i]))
                 f += local.get(i, 0.0)
-                v = yield isa.Read(vel.addr(i))
-                x = yield isa.Read(pos.addr(i))
                 v_new = v + f * self.dt
-                yield isa.Write(vel.addr(i), v_new)
-                yield isa.Write(pos.addr(i), x + v_new * self.dt)
+                yield isa.WriteBatch(
+                    (vaddr[i], paddr[i]), (v_new, x + v_new * self.dt)
+                )
                 yield isa.Compute(6)
             yield from ctx.barrier()
 

@@ -115,9 +115,11 @@ class TestDirectoryInvariants:
         for core in range(3):
             proto.read(core, ADDR)
         entry = proto._dir2(0, la)
-        resident = {
-            c for c in range(4) if hier.l1s[c].lookup(la, touch=False) is not None
-        }
+        resident = sum(
+            1 << c
+            for c in range(4)
+            if hier.l1s[c].lookup(la, touch=False) is not None
+        )
         assert entry.sharers == resident
 
 

@@ -1,0 +1,248 @@
+"""PackedCache vs the reference Cache: one behavioral contract, two layouts.
+
+Every test here runs against *both* cache classes — the packed flat-array
+structure is only correct if it is observationally identical to the
+per-set-dict reference (same hits, same victims, same traversal order,
+same line IDs).  The line-ID stability tests are the regression suite for
+the paper's hardware framing: a resident line occupies one physical way
+until eviction, so its tag-array position must not move when the LRU
+order changes.
+"""
+
+import pytest
+
+from repro.common.params import CacheParams
+from repro.engines.fastcache import PackedCache
+from repro.mem.cache import Cache
+from repro.mem.line import CacheLine
+
+CACHE_CLASSES = [Cache, PackedCache]
+
+
+def make(cls, assoc=2, sets=4):
+    params = CacheParams(
+        size_bytes=assoc * sets * 64, assoc=assoc, line_bytes=64, round_trip=1
+    )
+    return cls(params, name="tiny")
+
+
+def line(addr, fill=0):
+    return CacheLine(addr, data=[fill] * 16)
+
+
+@pytest.fixture(params=CACHE_CLASSES, ids=lambda c: c.__name__)
+def cache_cls(request):
+    return request.param
+
+
+class TestContract:
+    """The reference test-suite behaviors, run against both classes."""
+
+    def test_miss_returns_none(self, cache_cls):
+        assert make(cache_cls).lookup(5) is None
+
+    def test_insert_then_hit(self, cache_cls):
+        c = make(cache_cls)
+        c.insert(line(5))
+        hit = c.lookup(5)
+        assert hit is not None and hit.line_addr == 5
+
+    def test_reinsert_same_line_no_victim(self, cache_cls):
+        c = make(cache_cls)
+        c.insert(line(5))
+        assert c.insert(line(5)) is None
+        assert c.occupancy == 1
+
+    def test_evicts_least_recently_used(self, cache_cls):
+        c = make(cache_cls, assoc=2, sets=1)
+        c.insert(line(0))
+        c.insert(line(1))
+        c.lookup(0)  # 0 becomes MRU
+        victim = c.insert(line(2))
+        assert victim is not None and victim.line_addr == 1
+
+    def test_untouched_lookup_preserves_order(self, cache_cls):
+        c = make(cache_cls, assoc=2, sets=1)
+        c.insert(line(0))
+        c.insert(line(1))
+        c.lookup(0, touch=False)
+        victim = c.insert(line(2))
+        assert victim.line_addr == 0
+
+    def test_victim_comes_from_same_set_only(self, cache_cls):
+        c = make(cache_cls, assoc=1, sets=4)
+        c.insert(line(0))
+        assert c.insert(line(1)) is None  # different set
+        victim = c.insert(line(4))  # same set as 0
+        assert victim.line_addr == 0
+
+    def test_remove_then_miss(self, cache_cls):
+        c = make(cache_cls)
+        c.insert(line(3))
+        assert c.remove(3).line_addr == 3
+        assert c.lookup(3) is None
+        assert c.remove(9) is None
+
+    def test_dirty_lines_filter(self, cache_cls):
+        c = make(cache_cls)
+        a, b = line(0), line(1)
+        a.mark_dirty(2)
+        c.insert(a)
+        c.insert(b)
+        assert [l.line_addr for l in c.dirty_lines()] == [0]
+
+    def test_clear_visits_and_empties(self, cache_cls):
+        c = make(cache_cls)
+        c.insert(line(0))
+        c.insert(line(1))
+        seen = []
+        n = c.clear(on_evict=lambda l: seen.append(l.line_addr))
+        assert n == 2 and sorted(seen) == [0, 1]
+        assert c.occupancy == 0
+
+    def test_line_id_missing_raises(self, cache_cls):
+        with pytest.raises(KeyError):
+            make(cache_cls).line_id(9)
+
+
+class TestTraversalOrder:
+    """lines() must walk sets ascending, each set LRU -> MRU."""
+
+    def test_lru_to_mru_within_set(self, cache_cls):
+        c = make(cache_cls, assoc=3, sets=1)
+        for la in (0, 1, 2):
+            c.insert(line(la))
+        c.lookup(0)  # order now 1, 2, 0
+        assert [l.line_addr for l in c.lines()] == [1, 2, 0]
+
+    def test_sets_ascending_across_sets(self, cache_cls):
+        c = make(cache_cls, assoc=2, sets=4)
+        for la in (7, 2, 5, 0):  # sets 3, 2, 1, 0 — insertion order reversed
+            c.insert(line(la))
+        assert [l.line_addr for l in c.lines()] == [0, 5, 2, 7]
+
+
+class TestLineIDStability:
+    """Line IDs model physical ways: stable until eviction or removal.
+
+    Regression for the reference cache's old O(assoc) ``line_id`` scan,
+    whose IDs *moved* whenever an LRU touch reordered the set dict.  Both
+    engines feed line IDs into the WB ALL sampling path, so an unstable ID
+    is a correctness bug, not just a slow one.
+    """
+
+    def test_id_survives_lru_touches(self, cache_cls):
+        c = make(cache_cls, assoc=4, sets=2)
+        for la in (0, 2, 4, 6):  # all in set 0
+            c.insert(line(la))
+        before = {la: c.line_id(la) for la in (0, 2, 4, 6)}
+        for la in (6, 0, 4, 2, 0):  # scramble the LRU order
+            c.lookup(la)
+        assert {la: c.line_id(la) for la in (0, 2, 4, 6)} == before
+
+    def test_ids_distinct_within_set_bounds(self, cache_cls):
+        c = make(cache_cls, assoc=4, sets=2)
+        for la in (0, 2, 4, 6):
+            c.insert(line(la))
+        ids = [c.line_id(la) for la in (0, 2, 4, 6)]
+        assert len(set(ids)) == 4
+        assert all(0 <= i < c.params.num_lines for i in ids)
+
+    def test_eviction_reuses_victim_way(self, cache_cls):
+        c = make(cache_cls, assoc=2, sets=1)
+        c.insert(line(0))
+        c.insert(line(1))
+        way_of_0 = c.line_id(0)
+        c.lookup(1)  # keep 1 MRU; 0 is the victim
+        victim = c.insert(line(2))
+        assert victim.line_addr == 0
+        assert c.line_id(2) == way_of_0  # new line lands in the freed way
+
+    def test_in_place_replace_keeps_way(self, cache_cls):
+        c = make(cache_cls, assoc=2, sets=1)
+        c.insert(line(0))
+        c.insert(line(1))
+        before = c.line_id(0)
+        c.insert(line(0, fill=9))  # replace resident line in place
+        assert c.line_id(0) == before
+
+    def test_remove_frees_way_for_next_insert(self, cache_cls):
+        c = make(cache_cls, assoc=2, sets=1)
+        c.insert(line(0))
+        c.insert(line(1))
+        freed = c.line_id(0)
+        c.remove(0)
+        c.insert(line(2))
+        assert c.line_id(2) == freed
+
+    def test_random_geometry_and_ops_identical(self):
+        """Hypothesis: random CacheParams + op sequences, both classes agree.
+
+        The structural twin of the engine-level differential test: any
+        (assoc, sets) geometry, any insert/lookup/remove interleaving —
+        residency, victims, traversal order, and line IDs must match.
+        """
+        from hypothesis import given, settings, strategies as st
+
+        geometry = st.tuples(
+            st.integers(min_value=1, max_value=4),  # assoc
+            st.sampled_from([1, 2, 4, 8]),  # sets (power of two)
+        )
+        ops = st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "lookup", "touchless", "remove"]),
+                st.integers(min_value=0, max_value=23),
+            ),
+            max_size=60,
+        )
+
+        @settings(max_examples=60, deadline=None)
+        @given(geom=geometry, ops=ops)
+        def check(geom, ops):
+            assoc, sets = geom
+            ref, fast = make(Cache, assoc, sets), make(PackedCache, assoc, sets)
+            for kind, la in ops:
+                if kind == "insert":
+                    rv = ref.insert(line(la))
+                    fv = fast.insert(line(la))
+                    assert (rv and rv.line_addr) == (fv and fv.line_addr)
+                elif kind == "lookup":
+                    assert (ref.lookup(la) is None) == (fast.lookup(la) is None)
+                elif kind == "touchless":
+                    assert (ref.lookup(la, touch=False) is None) == (
+                        fast.lookup(la, touch=False) is None
+                    )
+                else:
+                    rv, fv = ref.remove(la), fast.remove(la)
+                    assert (rv and rv.line_addr) == (fv and fv.line_addr)
+                walk = [l.line_addr for l in ref.lines()]
+                assert walk == [l.line_addr for l in fast.lines()]
+                assert [ref.line_id(a) for a in walk] == [
+                    fast.line_id(a) for a in walk
+                ]
+
+        check()
+
+    def test_both_engines_assign_identical_ids(self):
+        """Drive the same op sequence into both classes: IDs must match."""
+        ref, fast = make(Cache, assoc=2, sets=2), make(PackedCache, assoc=2, sets=2)
+        ops = [
+            ("insert", 0), ("insert", 1), ("insert", 2), ("lookup", 0),
+            ("insert", 4), ("remove", 1), ("insert", 3), ("insert", 6),
+            ("lookup", 2), ("insert", 8),
+        ]
+        for kind, la in ops:
+            if kind == "insert":
+                ref.insert(line(la))
+                fast.insert(line(la))
+            elif kind == "lookup":
+                ref.lookup(la)
+                fast.lookup(la)
+            else:
+                ref.remove(la)
+                fast.remove(la)
+            resident = sorted(ref.resident_line_addrs())
+            assert resident == sorted(fast.resident_line_addrs())
+            assert [ref.line_id(a) for a in resident] == [
+                fast.line_id(a) for a in resident
+            ]
