@@ -8,6 +8,9 @@ Usage (also via ``python -m repro``)::
     repro fig9 [--scale S] [--jobs N]       # regenerate a figure/table
     repro fig10 | fig11 | fig12 | table1 | table3 | storage
     repro trace fft --config B+M+I --out t.jsonl   # traced replay of a cell
+    repro gen zipf_hot --seed 7 --config B+M+I     # one generated scenario
+    repro replay t.jsonl --roundtrip        # trace -> workload -> re-trace
+    repro fleet --scenarios 32 --engines ref,fast  # auto-checked scenario fleet
     repro lint --all-workloads              # static WB/INV annotation check
     repro lint missing_annotations --fix    # auto-insert + verify vs HCC
     repro chaos --plans 100 --seed 7        # seeded fault-injection sweep
@@ -233,6 +236,153 @@ def _cmd_trace(args) -> int:
         if name in metrics.counters:
             print(f"  {name:26s}{metrics.counters[name]:10d}")
     return 0
+
+
+def _cmd_gen(args) -> int:
+    """Build, run, and verify one generated scenario."""
+    from repro.common.rng import DEFAULT_SEED
+    from repro.workloads.gen import (
+        PATTERNS,
+        ScenarioSpec,
+        build_scenario,
+        lint_scenario,
+        run_gen,
+    )
+
+    if args.list_patterns:
+        print("Generator patterns (repro.workloads.gen):")
+        for name in PATTERNS:
+            print(f"  {name}")
+        return 0
+    if args.pattern is None:
+        print("repro gen: name a pattern (see --list-patterns)", file=sys.stderr)
+        return 2
+    spec = ScenarioSpec(
+        pattern=args.pattern,
+        seed=DEFAULT_SEED if args.seed is None else args.seed,
+        threads=args.threads,
+        footprint_lines=args.footprint,
+        rounds=args.rounds,
+        skew=args.skew,
+    )
+    config = intra_config(args.config)
+    scenario = build_scenario(spec)
+    result = run_gen(spec, config, memory_digest=True, engine=args.engine)
+    ops = sum(len(p) for p in scenario.programs)
+    print(f"{spec.name} under {config.name}: verified OK")
+    print(f"  spec digest    {spec.digest()}")
+    print(f"  program digest {scenario.program_digest()}")
+    print(f"  macros         {ops} across {spec.threads} thread(s)")
+    print(f"  exec time      {result.exec_time} cycles")
+    print(f"  memory digest  {result.memory_digest}")
+    if not config.hardware_coherent:
+        report = lint_scenario(spec, config)
+        verdict = "clean" if report.clean else ", ".join(
+            f.rule_id for f in report.findings
+        )
+        print(f"  lint           {verdict}")
+        return 0 if report.clean else 1
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    """Replay a recorded JSONL trace as a first-class workload."""
+    from repro.common.errors import ConfigError
+    from repro.obs.schema import TraceSchemaError
+    from repro.obs.trace import Tracer
+    from repro.workloads.replay import (
+        infer_num_threads,
+        load_events,
+        programs_by_core,
+        run_replay,
+    )
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, TraceSchemaError) as exc:
+        raise ConfigError(f"cannot replay {args.trace}: {exc}") from None
+    streams = programs_by_core(events)
+    num_threads = args.threads or infer_num_threads(streams)
+    name = args.config or ("B+M+I" if args.model == "intra" else "Addr+L")
+    config = intra_config(name) if args.model == "intra" else inter_config(name)
+    if args.model == "intra":
+        params = intra_block_machine(max(4, num_threads))
+    else:
+        params = inter_block_machine(args.blocks, args.cores_per_block)
+    tracer = Tracer() if (args.out or args.roundtrip) else None
+    result = run_replay(
+        events, config, machine_params=params, num_threads=num_threads,
+        tracer=tracer, memory_digest=True, engine=args.engine,
+    )
+    nops = sum(len(s) for s in streams.values())
+    print(f"replay of {args.trace} under {config.name}: "
+          f"{nops} op(s) on {num_threads} thread(s)")
+    print(f"  exec time     {result.exec_time} cycles")
+    print(f"  memory digest {result.memory_digest}")
+    if args.out:
+        tracer.write_jsonl(args.out)
+        print(f"  re-recorded   {len(tracer.events)} event(s) -> {args.out}")
+    if args.roundtrip:
+        if tracer.events == events:
+            print(f"  round-trip    bit-identical ({len(events)} events)")
+        else:
+            diffs = sum(
+                1 for a, b in zip(tracer.events, events) if a != b
+            ) + abs(len(tracer.events) - len(events))
+            print(f"  round-trip    FAILED: {diffs} differing event(s) "
+                  f"({len(events)} recorded, {len(tracer.events)} replayed)")
+            return 1
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    """N generated scenarios × configs × engines with an oracle verdict."""
+    import json
+    import pathlib
+
+    from repro.common.errors import ConfigError
+    from repro.eval.fleet import run_default_fleet
+
+    engines = [e for e in args.engines.split(",") if e]
+    configs = []
+    for name in args.configs.split(","):
+        if not name:
+            continue
+        cfg = intra_config(name)
+        if cfg.hardware_coherent:
+            raise ConfigError(
+                "fleet configs must be software-coherent "
+                "(the HCC reference is implicit)"
+            )
+        configs.append(cfg)
+    verdict = run_default_fleet(
+        args.scenarios,
+        seed=args.seed,
+        configs=configs,
+        engines=engines,
+        executor=_sweep_executor(args),
+        lint=not args.no_lint,
+    )
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(verdict, indent=1, sort_keys=True)
+        )
+        print(f"fleet verdict -> {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(verdict, indent=1, sort_keys=True))
+    else:
+        print(f"fleet: {verdict['scenarios']} scenario(s) "
+              f"({', '.join(f'{k}={v}' for k, v in sorted(verdict['patterns'].items()))})")
+        print(f"  configs  {', '.join(verdict['configs'])}  "
+              f"engines {', '.join(verdict['engines'])}  "
+              f"cells {verdict['cells']}")
+        print(f"  oracle divergences  {verdict['oracle_divergences']}")
+        print(f"  engine mismatches   {verdict['engine_mismatches']}")
+        print(f"  lint violations     {verdict['lint_violations']} "
+              f"({verdict['lint_checks']} check(s))")
+        print(f"  {verdict['sweep']}")
+        print("  verdict: CLEAN" if verdict["clean"] else "  verdict: DIRTY")
+    return 0 if verdict["clean"] else 1
 
 
 def _lint_targets(args):
@@ -737,6 +887,137 @@ def build_parser() -> argparse.ArgumentParser:
         help="cProfile one run and print the top 25 cumulative functions",
     )
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_gen = sub.add_parser(
+        "gen",
+        help="run one seeded generative traffic scenario, oracle-verified",
+        description=(
+            "Deterministically expand a ScenarioSpec (pattern, seed, "
+            "threads, footprint, rounds, skew) into a sharing-pattern "
+            "program, run it, and verify the final memory word-for-word "
+            "against the analytically computed oracle.  Generated programs "
+            "are coherent by construction, so any Table II configuration "
+            "must produce the HCC image.  See docs/ARCHITECTURE.md."
+        ),
+    )
+    p_gen.add_argument(
+        "pattern", nargs="?", default=None,
+        help="sharing pattern (see --list-patterns)",
+    )
+    p_gen.add_argument("--seed", type=int, default=None,
+                       help="scenario seed (default: the repo-wide seed)")
+    p_gen.add_argument("--threads", type=int, default=4)
+    p_gen.add_argument("--footprint", type=int, default=4, metavar="LINES",
+                       help="shared-data footprint in cache lines (default: 4)")
+    p_gen.add_argument("--rounds", type=int, default=2)
+    p_gen.add_argument("--skew", type=float, default=1.2,
+                       help="Zipf exponent for zipf_hot (default: 1.2)")
+    p_gen.add_argument("--config", default="B+M+I",
+                       help="Table II intra config (default: B+M+I)")
+    p_gen.add_argument(
+        "--engine", choices=("ref", "fast"), default=None,
+        help="simulator core (default: $REPRO_ENGINE or ref)",
+    )
+    p_gen.add_argument("--list-patterns", action="store_true",
+                       help="list the generator patterns and exit")
+    p_gen.set_defaults(fn=_cmd_gen)
+
+    p_rp = sub.add_parser(
+        "replay",
+        help="re-execute a recorded JSONL trace as a first-class workload",
+        description=(
+            "Partition a trace (the `repro trace` JSONL schema) into "
+            "per-core program-order streams, rebuild each CPU-issued event "
+            "as an ISA operation, and run the reconstructed program on the "
+            "simulator.  Hardware-generated events (fills, evictions, "
+            "grants) are skipped — the machine regenerates them.  "
+            "--roundtrip re-records the replay and exits 1 unless it is "
+            "bit-identical to the input trace."
+        ),
+    )
+    p_rp.add_argument("trace", help="JSONL trace path (repro trace schema)")
+    p_rp.add_argument("--model", choices=("intra", "inter"), default="intra",
+                      help="machine model the trace was recorded on")
+    p_rp.add_argument("--config", default=None,
+                      help="Table II name (default: B+M+I or Addr+L)")
+    p_rp.add_argument("--threads", type=int, default=None,
+                      help="thread count (default: inferred from the trace)")
+    p_rp.add_argument("--blocks", type=int, default=4,
+                      help="inter-block model: number of blocks (default: 4)")
+    p_rp.add_argument("--cores-per-block", type=int, default=8,
+                      help="inter-block model: cores per block (default: 8)")
+    p_rp.add_argument(
+        "--engine", choices=("ref", "fast"), default=None,
+        help="simulator core (default: $REPRO_ENGINE or ref)",
+    )
+    p_rp.add_argument("--out", metavar="PATH", default=None,
+                      help="write the re-recorded replay trace to PATH")
+    p_rp.add_argument(
+        "--roundtrip", action="store_true",
+        help="verify record -> replay -> re-record is bit-identical; "
+        "exit 1 on any differing event",
+    )
+    p_rp.set_defaults(fn=_cmd_replay)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="auto-checked scenario fleet: N generated scenarios × "
+        "configs × engines",
+        description=(
+            "Sample N ScenarioSpecs across every generator pattern and run "
+            "each under every requested (software-coherent config × "
+            "engine) plus an implicit hardware-coherent reference cell, "
+            "all through the parallel cached sweep executor.  The verdict "
+            "checks three oracles — final-memory digest vs the HCC "
+            "reference, bit-identical stats+digest across engines, and "
+            "Section IV-A lint cleanliness — and the command exits 1 on "
+            "any divergence, mismatch, or finding."
+        ),
+    )
+    p_fleet.add_argument(
+        "--scenarios", type=int, default=32, metavar="N",
+        help="number of sampled scenarios (default: 32)",
+    )
+    p_fleet.add_argument(
+        "--seed", type=int, default=None,
+        help="root seed for scenario sampling (default: the repo-wide "
+        "seed); the whole fleet reproduces from this one value",
+    )
+    p_fleet.add_argument(
+        "--engines", default="ref", metavar="NAME,NAME",
+        help="comma-separated simulator cores to cross-check "
+        "(default: ref)",
+    )
+    p_fleet.add_argument(
+        "--configs", default="Base,B+M+I", metavar="NAME,NAME",
+        help="comma-separated software-coherent Table II intra configs "
+        "(default: Base,B+M+I; the HCC reference is implicit)",
+    )
+    p_fleet.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel sweep workers (default: CPU count; 1 = serial)",
+    )
+    p_fleet.add_argument(
+        "--no-cache", action="store_true",
+        help="always simulate; do not read or write the result cache",
+    )
+    p_fleet.add_argument(
+        "--clear-cache", action="store_true",
+        help="empty the result cache before running",
+    )
+    p_fleet.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the static Section IV-A lint pass",
+    )
+    p_fleet.add_argument(
+        "--json", action="store_true",
+        help="print the full verdict document as JSON",
+    )
+    p_fleet.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the verdict JSON to PATH (the CI artifact)",
+    )
+    p_fleet.set_defaults(fn=_cmd_fleet)
 
     p_t3 = sub.add_parser("table3", help="print the architecture table")
     p_t3.add_argument("--machine", choices=("intra", "inter"), default="inter")

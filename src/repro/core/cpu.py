@@ -33,7 +33,8 @@ class CPU:
 
     __slots__ = (
         "machine", "core_id", "tid", "program", "stats",
-        "_send_value", "_sync_issue_time", "_sync_cat", "_sync_mnem", "_done",
+        "_send_value", "_sync_issue_time", "_sync_cat", "_sync_mnem",
+        "_sync_arg", "_sync_n", "_done",
     )
 
     def __init__(self, machine: "Machine", core_id: int, tid: int, program) -> None:
@@ -46,6 +47,8 @@ class CPU:
         self._sync_issue_time: int = 0
         self._sync_cat: StallCat = StallCat.REST
         self._sync_mnem: str = ""
+        self._sync_arg: int = 0
+        self._sync_n: int | None = None
         self._done = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -115,9 +118,18 @@ class CPU:
                 stalls[rest] += lat
                 accumulated += lat
                 if observing:
-                    self._obs_access("write", tracer, metrics, op.addr, lat)
+                    self._obs_access(
+                        "write", tracer, metrics, op.addr, lat, val=op.value
+                    )
             elif kind is isa.Compute:
                 cycles = int(op.cycles)
+                if observing and tracer is not None:
+                    tracer.emit(
+                        "compute",
+                        core_id,
+                        lat=cycles,
+                        cycle=engine.now + accumulated,
+                    )
                 stalls[rest] += cycles
                 accumulated += cycles
             elif kind is isa.ReadBatch:
@@ -142,7 +154,9 @@ class CPU:
                     stalls[rest] += lat
                     accumulated += lat
                     if observing:
-                        self._obs_access("write", tracer, metrics, addr, lat)
+                        self._obs_access(
+                            "write", tracer, metrics, addr, lat, val=value
+                        )
             elif kind is isa.CopyBatch:
                 for src, dst in zip(op.src_addrs, op.dst_addrs, strict=True):
                     if observing and tracer is not None:
@@ -160,7 +174,9 @@ class CPU:
                     stalls[rest] += lat
                     accumulated += lat
                     if observing:
-                        self._obs_access("write", tracer, metrics, dst, lat)
+                        self._obs_access(
+                            "write", tracer, metrics, dst, lat, val=value
+                        )
             elif kind is isa.AddBatch:
                 for addr, delta in zip(op.addrs, op.deltas, strict=True):
                     if observing and tracer is not None:
@@ -178,7 +194,9 @@ class CPU:
                     stalls[rest] += lat
                     accumulated += lat
                     if observing:
-                        self._obs_access("write", tracer, metrics, addr, lat)
+                        self._obs_access(
+                            "write", tracer, metrics, addr, lat, val=value + delta
+                        )
             elif isinstance(op, isa.SYNC_OPS):
                 self._issue_sync(op, accumulated)
                 return
@@ -202,21 +220,37 @@ class CPU:
     # tracer's current-op cycle is published before each dispatch so that
     # protocol-internal events (fills, evictions) share the op's timestamp.
 
-    def _obs_access(self, kind: str, tracer, metrics, addr: int, lat: int) -> None:
-        """Report one load/store to the attached observability sinks."""
+    def _obs_access(
+        self, kind: str, tracer, metrics, addr: int, lat: int, val=None
+    ) -> None:
+        """Report one load/store to the attached observability sinks.
+
+        Write events carry their stored value when it is a JSON scalar
+        (int/float) so the trace is program-reconstructible; object-valued
+        stores trace without ``val`` (replay substitutes 0).
+        """
         if tracer is not None:
+            if val is not None and (type(val) is not int and type(val) is not float):
+                val = None
             tracer.emit(
                 kind,
                 self.core_id,
                 addr=addr,
                 line=self.machine.hier.line_of(addr),
                 lat=lat,
+                val=val,
             )
         if metrics is not None:
             metrics.observe(f"lat.{kind}", lat)
 
     def _obs_wbinv(self, tracer, metrics, op: isa.Op, lat: int) -> None:
-        """Report one WB/INV/epoch instruction to the observability sinks."""
+        """Report one WB/INV/epoch instruction to the observability sinks.
+
+        Operand detail rides in ``n``/``arg`` (ranged length; peer thread
+        id for the CONS/PROD flavors; ``via_meb`` for WB_ALL; the
+        ``record_meb | ieb_mode << 1`` mask for epoch_begin) so that
+        :mod:`repro.workloads.replay` can rebuild the exact instruction.
+        """
         if isinstance(op, isa.WB_OPS):
             kind = "wb"
         elif isinstance(op, isa.INV_OPS):
@@ -225,6 +259,14 @@ class CPU:
             kind = "epoch"
         addr = getattr(op, "addr", None)
         if tracer is not None:
+            length = getattr(op, "length", None)
+            arg = getattr(op, "cons_tid", None)
+            if arg is None:
+                arg = getattr(op, "prod_tid", None)
+            if arg is None and type(op) is isa.WBAll and op.via_meb:
+                arg = 1
+            if type(op) is isa.EpochBegin:
+                arg = int(op.record_meb) | int(op.ieb_mode) << 1
             tracer.emit(
                 kind,
                 self.core_id,
@@ -232,6 +274,8 @@ class CPU:
                 line=self.machine.hier.line_of(addr) if addr is not None else None,
                 lat=lat,
                 op=op.mnemonic,
+                arg=arg,
+                n=length,
             )
         if metrics is not None:
             metrics.inc(f"cpu.{kind}.{op.mnemonic}")
@@ -299,18 +343,23 @@ class CPU:
             kind = type(op)
             if kind is isa.Barrier:
                 self._sync_cat = StallCat.BARRIER
+                self._sync_arg, self._sync_n = op.bid, op.count
                 ctl.barrier_arrive(core, op.bid, op.count, self._sync_resume)
             elif kind is isa.LockAcquire:
                 self._sync_cat = StallCat.LOCK
+                self._sync_arg, self._sync_n = op.lid, None
                 ctl.lock_acquire(core, op.lid, self._sync_resume)
             elif kind is isa.LockRelease:
                 self._sync_cat = StallCat.LOCK
+                self._sync_arg, self._sync_n = op.lid, None
                 ctl.lock_release(core, op.lid, self._sync_resume)
             elif kind is isa.FlagSet:
                 self._sync_cat = StallCat.BARRIER
+                self._sync_arg, self._sync_n = op.fid, op.value
                 ctl.flag_set(core, op.fid, op.value, self._sync_resume)
             elif kind is isa.FlagWait:
                 self._sync_cat = StallCat.BARRIER
+                self._sync_arg, self._sync_n = op.fid, op.value
                 ctl.flag_wait(core, op.fid, op.value, self._sync_resume)
             else:  # pragma: no cover - SYNC_OPS is exhaustive
                 raise SimulationError(f"unknown sync op {op!r}")
@@ -323,12 +372,15 @@ class CPU:
         tracer = self.machine.tracer
         if tracer is not None:
             # One event per sync op, stamped at issue and spanning the wait.
+            # arg = sync variable id, n = barrier count / flag value.
             tracer.emit(
                 "sync",
                 self.core_id,
                 op=self._sync_mnem,
                 lat=waited,
                 cycle=self._sync_issue_time,
+                arg=self._sync_arg,
+                n=self._sync_n,
             )
         metrics = self.machine.metrics
         if metrics is not None:

@@ -7,7 +7,8 @@ across sessions.  This module stores one JSON file per cell under a cache
 root, keyed by a stable SHA-256 hash of the *complete* cell identity:
 
 * cache schema version and ``repro.__version__``,
-* sweep kind (``intra`` / ``inter`` / ``litmus``), application name,
+* sweep kind (``intra`` / ``inter`` / ``litmus`` / ``gen``), application
+  name (for ``gen`` cells, additionally the canonical ScenarioSpec digest),
 * every field of the :class:`~repro.core.config.ExperimentConfig`,
 * the **resolved** :class:`~repro.common.params.MachineParams` (defaults are
   expanded, so passing ``machine_params=None`` and passing the equivalent
@@ -80,6 +81,18 @@ def describe_cell(cell: "SweepCell") -> dict:
         kernel = LITMUS[cell.app]
         params = machine or machine_params(kernel)
         geometry = {"model": kernel.model, "num_threads": kernel.threads}
+    elif cell.kind == "gen":
+        from repro.workloads.gen import gen_machine_params
+
+        spec = kwargs.pop("spec")
+        params = machine or gen_machine_params(spec)
+        # The canonical spec digest covers every generator parameter, so
+        # two cells collide exactly when they run the same scenario.
+        geometry = {
+            "pattern": spec.pattern,
+            "num_threads": spec.threads,
+            "scenario": spec.digest(),
+        }
     else:
         raise ValueError(f"unknown sweep kind {cell.kind!r}")
     return {

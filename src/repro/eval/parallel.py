@@ -44,7 +44,7 @@ class SweepCell:
     is hashable, picklable, and has a canonical form for cache keying.
     """
 
-    kind: str  # "intra" | "inter" | "litmus"
+    kind: str  # "intra" | "inter" | "litmus" | "gen"
     app: str
     config: ExperimentConfig
     kwargs: tuple[tuple[str, Any], ...] = ()
@@ -66,6 +66,10 @@ def _run_cell(cell: SweepCell) -> RunResult:
         return run_inter(cell.app, cell.config, **kwargs)
     if cell.kind == "litmus":
         return run_litmus(cell.app, cell.config, **kwargs)
+    if cell.kind == "gen":
+        from repro.workloads.gen import run_gen
+
+        return run_gen(kwargs.pop("spec"), cell.config, **kwargs)
     raise ConfigError(f"unknown sweep kind {cell.kind!r}")
 
 

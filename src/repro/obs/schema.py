@@ -17,7 +17,22 @@ field      type      meaning
 ``lat``    int >= 0  charged latency in cycles (optional)
 ``op``     str       ISA mnemonic or event detail, e.g. ``WB_ALL``,
                      ``barrier``, ``DIR_INV`` (optional)
+``arg``    int >= 0  operation operand: sync variable id (barrier/lock/
+                     flag), peer thread id (``WB_CONS*``/``INV_PROD*``),
+                     ``via_meb`` bit (``WB_ALL``), or the
+                     ``record_meb | ieb_mode << 1`` flag mask for
+                     ``epoch_begin`` (optional)
+``n``      int >= 0  operation count operand: barrier arrival count, flag
+                     value, or ranged WB/INV byte length (optional)
+``val``    number    value stored by a ``write`` event, when JSON-scalar
+                     (optional; may be negative)
 =========  ========  ====================================================
+
+The ``arg``/``n``/``val`` trio makes traces *program-reconstructible*:
+:mod:`repro.workloads.replay` rebuilds an executable workload from any
+trace that carries them (record -> replay -> re-record is bit-identical).
+Traces recorded before these fields existed still validate — all three
+are optional.
 
 ``python -m repro.obs.schema FILE`` validates a JSONL trace file and exits
 non-zero on the first violation — CI runs it against a ``repro trace``
@@ -34,8 +49,8 @@ from repro.obs.trace import TRACE_KINDS
 #: Hierarchy levels an event may name.
 TRACE_LEVELS = ("L1", "L2", "L3", "mem")
 
-#: field name -> (required, expected type).  Int fields must be >= 0.
-TRACE_FIELDS: dict[str, tuple[bool, type]] = {
+#: field name -> (required, expected type(s)).  Plain-int fields must be >= 0.
+TRACE_FIELDS: dict[str, tuple[bool, type | tuple[type, ...]]] = {
     "kind": (True, str),
     "core": (True, int),
     "cycle": (True, int),
@@ -44,6 +59,11 @@ TRACE_FIELDS: dict[str, tuple[bool, type]] = {
     "level": (False, str),
     "lat": (False, int),
     "op": (False, str),
+    "arg": (False, int),
+    "n": (False, int),
+    # Stored values may be negative floats; (int, float) skips the >= 0
+    # check below (which applies to plain-int fields only).
+    "val": (False, (int, float)),
 }
 
 
@@ -63,9 +83,10 @@ def validate_event(ev: dict) -> None:
         value = ev[name]
         # bool is an int subclass; a True/False core or cycle is a bug.
         if not isinstance(value, typ) or isinstance(value, bool):
+            want = typ.__name__ if isinstance(typ, type) else "number"
             raise TraceSchemaError(
                 f"field {name!r} has type {type(value).__name__}, "
-                f"expected {typ.__name__}: {ev!r}"
+                f"expected {want}: {ev!r}"
             )
         if typ is int and value < 0:
             raise TraceSchemaError(f"field {name!r} is negative: {ev!r}")

@@ -33,6 +33,7 @@ from typing import IO
 TRACE_KINDS = (
     "read",
     "write",
+    "compute",
     "wb",
     "inv",
     "fill",
@@ -69,11 +70,16 @@ class Tracer:
         lat: int | None = None,
         op: str | None = None,
         cycle: int | None = None,
+        arg: int | None = None,
+        n: int | None = None,
+        val: int | float | None = None,
     ) -> None:
         """Record one event.
 
         ``cycle=None`` stamps the tracer's current op cycle; sync grants and
-        other engine-timed events pass an explicit cycle instead.
+        other engine-timed events pass an explicit cycle instead.  ``arg``,
+        ``n``, and ``val`` carry the operand detail that makes a trace
+        program-reconstructible (see :mod:`repro.obs.schema`).
         """
         ev: dict = {
             "kind": kind,
@@ -90,6 +96,12 @@ class Tracer:
             ev["lat"] = lat
         if op is not None:
             ev["op"] = op
+        if arg is not None:
+            ev["arg"] = arg
+        if n is not None:
+            ev["n"] = n
+        if val is not None:
+            ev["val"] = val
         self.events.append(ev)
 
     # -- selection helpers (used by tests and analysis scripts) --------------

@@ -1,0 +1,275 @@
+"""Pattern builders: ScenarioSpec → concrete macro programs + oracle.
+
+Each builder expands a :class:`~repro.workloads.gen.spec.ScenarioSpec`
+into a :class:`Scenario`: named shared arrays, one straight-line *macro
+program* per thread, and the analytically computed expected final memory.
+Macro programs are plain tuples (no value-dependent control flow), so the
+scenario is digestable without running anything, and the expected image is
+derived while generating — the run-time oracle compares main memory
+against it word for word.
+
+Correctness by construction:
+
+* every cross-thread access pair is ordered by a barrier, lock, or flag
+  (data-race-free), and the runtime interpreter issues synchronization
+  through the default :class:`~repro.core.context.ThreadCtx` helpers, so
+  each sync op carries the Section IV-A WB ALL / INV ALL annotations the
+  configuration prescribes — generated programs lint clean and produce
+  the coherent result on every Table II configuration;
+* shared updates are commutative integer adds or single-writer-per-word
+  stores, so the final image is independent of simulated timing — the
+  property the fleet's cross-config / cross-engine digest oracle relies
+  on (the same contract the chaos runner imposes on its targets).
+
+Macro vocabulary (interpreted by :func:`repro.workloads.gen.macro_program`):
+
+=====================  ====================================================
+macro                  meaning
+=====================  ====================================================
+``("load", a, i)``     ``acc += arrays[a][i]`` (simulated load)
+``("store", a, i, v)`` ``arrays[a][i] = v``
+``("add", a, i, d)``   load + store of ``value + d`` (read-modify-write)
+``("store_acc", a, i)``  store the thread's accumulator register
+``("compute", c)``     pure delay of ``c`` cycles
+``("barrier", bid)``   global barrier over all scenario threads
+``("lock", lid)`` / ``("unlock", lid)``  critical-section brackets
+``("flag_set", fid, v)`` / ``("flag_wait", fid, v)``  condition flag ops
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.workloads.gen.spec import ScenarioSpec
+
+#: Words per cache line on the generator's machines (64-byte lines).
+WORDS_PER_LINE = 16
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully expanded generated workload.
+
+    ``arrays`` maps array name → word count (allocation order is the
+    tuple order); ``programs`` holds one macro tuple per thread;
+    ``expected`` is the oracle: the exact final value of every word of
+    every array (unwritten words stay 0, like main memory).
+    """
+
+    spec: ScenarioSpec
+    arrays: tuple[tuple[str, int], ...]
+    programs: tuple[tuple[tuple, ...], ...]
+    expected: tuple[tuple[str, tuple[int, ...]], ...]
+
+    def program_digest(self) -> str:
+        """Canonical SHA-256 over arrays + macro programs (no execution)."""
+        blob = json.dumps(
+            {"arrays": self.arrays, "programs": self.programs},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _values(rng, n: int) -> list[int]:
+    """n small positive ints (kept small so checksums stay exact)."""
+    return [int(v) for v in rng.integers(1, 1000, size=n)]
+
+
+def _finale(progs, sink_len_threads, data_name, nwords, state, expected_sink):
+    """Append the shared epilogue: barrier, full read sweep, sink store.
+
+    Every thread reads the whole data array (after a barrier, so the reads
+    observe the final image) and stores its accumulator into its private
+    sink word — exercising the read path under the digest oracle.
+    """
+    total = sum(state)
+    for t, prog in enumerate(progs):
+        prog.append(("barrier", 0))
+        for i in range(nwords):
+            prog.append(("load", data_name, i))
+        prog.append(("store_acc", "sink", t))
+        prog.append(("barrier", 0))
+        expected_sink[t] += total
+
+
+def build_producer_consumer(spec: ScenarioSpec) -> Scenario:
+    """Thread 0 publishes a block per round; consumers fan out over it."""
+    T, R = spec.threads, spec.rounds
+    nwords = spec.footprint_lines * WORDS_PER_LINE
+    rng = spec.rng("values")
+    progs: list[list[tuple]] = [[] for _ in range(T)]
+    sink = [0] * T
+    state = [0] * nwords
+    for r in range(R):
+        vals = _values(rng, nwords)
+        state = vals
+        progs[0].append(("compute", int(rng.integers(1, 50))))
+        for i in range(nwords):
+            progs[0].append(("store", "data", i, vals[i]))
+        progs[0].append(("flag_set", 0, r + 1))
+        for t in range(1, T):
+            progs[t].append(("flag_wait", 0, r + 1))
+            for i in range(nwords):
+                progs[t].append(("load", "data", i))
+            sink[t] += sum(vals)
+            progs[t].append(("compute", int(rng.integers(1, 50))))
+        # Close the round so the next publish cannot race the readers.
+        for prog in progs:
+            prog.append(("barrier", 0))
+    _finale(progs, T, "data", nwords, state, sink)
+    return Scenario(
+        spec,
+        (("data", nwords), ("sink", T)),
+        tuple(tuple(p) for p in progs),
+        (("data", tuple(state)), ("sink", tuple(sink))),
+    )
+
+
+def build_migratory(spec: ScenarioSpec) -> Scenario:
+    """A token migrates thread to thread; each holder updates the region."""
+    T, R = spec.threads, spec.rounds
+    nwords = spec.footprint_lines * WORDS_PER_LINE
+    rng = spec.rng("values")
+    progs: list[list[tuple]] = [[] for _ in range(T)]
+    sink = [0] * T
+    state = [0] * nwords
+    for r in range(R):
+        for t in range(T):
+            seq = r * T + t
+            progs[t].append(("flag_wait", 0, seq))
+            k = int(rng.integers(1, nwords + 1))
+            idxs = sorted(int(i) for i in rng.choice(nwords, size=k, replace=False))
+            for i in idxs:
+                d = int(rng.integers(1, 100))
+                progs[t].append(("add", "counters", i, d))
+                state[i] += d
+            progs[t].append(("compute", int(rng.integers(1, 30))))
+            progs[t].append(("flag_set", 0, seq + 1))
+    _finale(progs, T, "counters", nwords, state, sink)
+    return Scenario(
+        spec,
+        (("counters", nwords), ("sink", T)),
+        tuple(tuple(p) for p in progs),
+        (("counters", tuple(state)), ("sink", tuple(sink))),
+    )
+
+
+def build_lock_convoy(spec: ScenarioSpec) -> Scenario:
+    """All threads hammer a few lock-protected counter lines (convoying)."""
+    T, R = spec.threads, spec.rounds
+    nlocks = spec.footprint_lines
+    nwords = nlocks * WORDS_PER_LINE
+    rng = spec.rng("values")
+    progs: list[list[tuple]] = [[] for _ in range(T)]
+    sink = [0] * T
+    state = [0] * nwords
+    for r in range(R):
+        for t in range(T):
+            for _ in range(int(rng.integers(1, 4))):
+                lid = int(rng.integers(0, nlocks))
+                progs[t].append(("lock", lid))
+                for _ in range(int(rng.integers(1, 4))):
+                    # Only words of the lock's own line: lock lid protects
+                    # exactly line lid, so every update is ordered.
+                    i = lid * WORDS_PER_LINE + int(rng.integers(0, WORDS_PER_LINE))
+                    d = int(rng.integers(1, 100))
+                    progs[t].append(("add", "counters", i, d))
+                    state[i] += d
+                progs[t].append(("compute", int(rng.integers(1, 20))))
+                progs[t].append(("unlock", lid))
+    _finale(progs, T, "counters", nwords, state, sink)
+    return Scenario(
+        spec,
+        (("counters", nwords), ("sink", T)),
+        tuple(tuple(p) for p in progs),
+        (("counters", tuple(state)), ("sink", tuple(sink))),
+    )
+
+
+def build_false_sharing(spec: ScenarioSpec) -> Scenario:
+    """Word-interleaved single-writer stores: heavy false sharing, no races."""
+    T, R = spec.threads, spec.rounds
+    nwords = spec.footprint_lines * WORDS_PER_LINE
+    rng = spec.rng("values")
+    progs: list[list[tuple]] = [[] for _ in range(T)]
+    sink = [0] * T
+    state = [0] * nwords
+    for r in range(R):
+        vals = _values(rng, nwords)
+        for t in range(T):
+            for i in range(t, nwords, T):  # word i belongs to thread i % T
+                progs[t].append(("store", "fs", i, vals[i]))
+                state[i] = vals[i]
+            progs[t].append(("barrier", 0))
+        for t in range(T):
+            k = int(rng.integers(1, nwords + 1))
+            idxs = [int(i) for i in rng.choice(nwords, size=k, replace=False)]
+            for i in sorted(idxs):
+                if i % T != t:  # read the words the *other* threads wrote
+                    progs[t].append(("load", "fs", i))
+                    sink[t] += state[i]
+            progs[t].append(("barrier", 0))
+    _finale(progs, T, "fs", nwords, state, sink)
+    return Scenario(
+        spec,
+        (("fs", nwords), ("sink", T)),
+        tuple(tuple(p) for p in progs),
+        (("fs", tuple(state)), ("sink", tuple(sink))),
+    )
+
+
+def build_zipf_hot(spec: ScenarioSpec) -> Scenario:
+    """Zipf-skewed traffic: a few hot lines absorb most of the accesses."""
+    T, R = spec.threads, spec.rounds
+    nwords = spec.footprint_lines * WORDS_PER_LINE
+    rng = spec.rng("values")
+    # Zipf weights over word ranks (word 0 hottest), renormalized per the
+    # index subset a draw ranges over.
+    weights = [(k + 1) ** -spec.skew for k in range(nwords)]
+    progs: list[list[tuple]] = [[] for _ in range(T)]
+    sink = [0] * T
+    state = [0] * nwords
+
+    def draw(idxs) -> int:
+        w = [weights[i] for i in idxs]
+        total = sum(w)
+        p = [x / total for x in w]
+        return int(idxs[int(rng.choice(len(idxs), p=p))])
+
+    for r in range(R):
+        for t in range(T):
+            owned = list(range(t, nwords, T))
+            for _ in range(2 * WORDS_PER_LINE):
+                i = draw(owned)  # single writer per word: i % T == t
+                v = int(rng.integers(1, 1000))
+                progs[t].append(("store", "hot", i, v))
+                state[i] = v
+            progs[t].append(("barrier", 0))
+        for t in range(T):
+            for _ in range(2 * WORDS_PER_LINE):
+                i = draw(list(range(nwords)))
+                progs[t].append(("load", "hot", i))
+                sink[t] += state[i]
+            progs[t].append(("compute", int(rng.integers(1, 30))))
+            progs[t].append(("barrier", 0))
+    _finale(progs, T, "hot", nwords, state, sink)
+    return Scenario(
+        spec,
+        (("hot", nwords), ("sink", T)),
+        tuple(tuple(p) for p in progs),
+        (("hot", tuple(state)), ("sink", tuple(sink))),
+    )
+
+
+#: pattern name → builder (the dispatch table ``build_scenario`` uses).
+BUILDERS = {
+    "producer_consumer": build_producer_consumer,
+    "migratory": build_migratory,
+    "lock_convoy": build_lock_convoy,
+    "false_sharing": build_false_sharing,
+    "zipf_hot": build_zipf_hot,
+}

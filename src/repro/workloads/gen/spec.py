@@ -1,0 +1,116 @@
+"""Scenario specification: the seed-deterministic identity of a workload.
+
+A :class:`ScenarioSpec` is the complete input to the traffic generator —
+pattern name, seed, thread count, footprint, skew, round count.  Equal
+specs build byte-identical programs (the generator draws all randomness
+from :func:`repro.common.rng.make_rng` streams keyed by the spec), so the
+spec's canonical digest identifies the generated workload for the result
+cache exactly as an application name identifies a SPLASH kernel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DEFAULT_SEED, make_rng
+
+#: The Table I sharing-pattern taxonomy the generator parameterizes.
+PATTERNS = (
+    "producer_consumer",
+    "migratory",
+    "lock_convoy",
+    "false_sharing",
+    "zipf_hot",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Complete, hashable identity of one generated scenario.
+
+    ``skew`` is the Zipf exponent (used by ``zipf_hot``; inert elsewhere
+    but always part of the identity so digests never collide across
+    parameter meanings).
+    """
+
+    pattern: str
+    seed: int
+    threads: int = 4
+    footprint_lines: int = 4
+    rounds: int = 2
+    skew: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERNS:
+            raise ConfigError(
+                f"unknown pattern {self.pattern!r}; expected one of {PATTERNS}"
+            )
+        if self.threads < 2:
+            raise ConfigError("scenarios need >= 2 threads")
+        if self.footprint_lines < 1:
+            raise ConfigError("footprint must be >= 1 line")
+        if self.rounds < 1:
+            raise ConfigError("scenarios need >= 1 round")
+        if not self.skew > 0:
+            raise ConfigError("zipf skew must be > 0")
+
+    @property
+    def name(self) -> str:
+        """Human-readable cell label, e.g. ``gen:zipf_hot/s7t4f4r2``."""
+        return (
+            f"gen:{self.pattern}/s{self.seed}t{self.threads}"
+            f"f{self.footprint_lines}r{self.rounds}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (exact inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScenarioSpec":
+        return cls(**d)
+
+    def digest(self) -> str:
+        """Canonical SHA-256 of the spec — the cache-key ingredient."""
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def rng(self, stream: str):
+        """Spec-scoped deterministic RNG for generator stream *stream*."""
+        return make_rng(f"gen.{self.pattern}.{stream}", self.seed)
+
+
+def sample_specs(
+    n: int,
+    seed: int = DEFAULT_SEED,
+    patterns=PATTERNS,
+    *,
+    max_threads: int = 4,
+) -> list[ScenarioSpec]:
+    """Draw *n* scenario specs, cycling patterns, parameters seeded.
+
+    Patterns round-robin so every fleet slice covers the whole taxonomy;
+    per-spec parameters (threads, footprint, rounds, skew) come from one
+    seeded stream, and each spec's own seed is drawn from the same stream
+    so two fleets with different master seeds share no scenarios.
+    """
+    if n < 1:
+        raise ConfigError("need n >= 1 scenarios")
+    rng = make_rng("gen.sample_specs", seed)
+    specs = []
+    for i in range(n):
+        pattern = patterns[i % len(patterns)]
+        specs.append(
+            ScenarioSpec(
+                pattern=pattern,
+                seed=int(rng.integers(0, 2**31)),
+                threads=int(rng.integers(2, max_threads + 1)),
+                footprint_lines=int(rng.integers(1, 9)),
+                rounds=int(rng.integers(1, 5)),
+                skew=round(1.05 + 0.95 * float(rng.random()), 3),
+            )
+        )
+    return specs

@@ -1,0 +1,73 @@
+"""CLI tests for `repro gen`, `repro replay`, and `repro fleet`."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def test_gen_list_patterns(capsys):
+    assert main(["gen", "--list-patterns"]) == 0
+    out = capsys.readouterr().out
+    for name in ("producer_consumer", "migratory", "lock_convoy",
+                 "false_sharing", "zipf_hot"):
+        assert name in out
+
+
+def test_gen_runs_and_verifies_one_scenario(capsys):
+    rc = main(["gen", "zipf_hot", "--seed", "7", "--config", "B+M+I"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "verified OK" in out
+    assert "lint           clean" in out
+
+
+def test_gen_requires_a_pattern():
+    assert main(["gen"]) == 2
+    assert main(["gen", "warp_speed"]) == 2
+
+
+def test_replay_roundtrip_of_a_recorded_trace(tmp_path, capsys):
+    trace = tmp_path / "cell.jsonl"
+    assert main([
+        "trace", "volrend", "--config", "B+M+I", "--scale", "0.5",
+        "--out", str(trace),
+    ]) == 0
+    capsys.readouterr()
+    out_trace = tmp_path / "replayed.jsonl"
+    rc = main([
+        "replay", str(trace), "--roundtrip", "--out", str(out_trace),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bit-identical" in out
+    assert out_trace.exists()
+    assert (
+        out_trace.read_text().splitlines() == trace.read_text().splitlines()
+    )
+
+
+def test_replay_missing_file_is_a_usage_error(tmp_path):
+    assert main(["replay", str(tmp_path / "nope.jsonl")]) == 2
+
+
+def test_fleet_writes_a_clean_verdict(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    out = tmp_path / "verdict.json"
+    rc = main([
+        "fleet", "--scenarios", "4", "--engines", "ref,fast",
+        "--jobs", "1", "--out", str(out),
+    ])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "verdict: CLEAN" in printed
+    doc = json.loads(out.read_text())
+    assert doc["clean"] is True
+    assert doc["scenarios"] == 4
+    assert doc["cells"] == 4 * (1 + 2 * 2)
+
+
+def test_fleet_rejects_hcc_config(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["fleet", "--scenarios", "1", "--configs", "HCC"]) == 2

@@ -70,5 +70,6 @@ def test_write_chrome_is_loadable_json(tmp_path):
 
 def test_trace_kinds_is_the_closed_vocabulary():
     assert set(TRACE_KINDS) == {
-        "read", "write", "wb", "inv", "fill", "evict", "fault", "sync", "epoch",
+        "read", "write", "compute", "wb", "inv", "fill", "evict", "fault",
+        "sync", "epoch",
     }

@@ -1,0 +1,78 @@
+"""Property: trace record -> replay -> re-record is bit-identical.
+
+Hypothesis draws (litmus kernel, engine) pairs across the whole registry —
+determinate and intentionally broken kernels alike, intra and inter
+models — and the replayed run must reproduce the recorded event stream
+*and* the final :class:`~repro.sim.stats.MachineStats` exactly.  Broken
+kernels matter here: replay promises to reproduce whatever the trace says
+happened, not what should have happened.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import INTRA_BASE, INTRA_BMI, inter_config
+from repro.eval.runner import run_litmus
+from repro.obs.trace import Tracer
+from repro.workloads.litmus import LITMUS, machine_params
+from repro.workloads.replay import run_replay
+
+_INTER_CONFIGS = (inter_config("Addr"), inter_config("Addr+L"))
+_INTRA_CONFIGS = (INTRA_BASE, INTRA_BMI)
+
+case_strategy = st.tuples(
+    st.sampled_from(sorted(LITMUS)),
+    st.sampled_from(("ref", "fast")),
+    st.integers(min_value=0, max_value=1),
+)
+
+
+@given(case_strategy)
+@settings(max_examples=25, deadline=None)
+def test_record_replay_rerecord_is_bit_identical(case):
+    name, engine, cfg_idx = case
+    kernel = LITMUS[name]
+    config = (
+        _INTER_CONFIGS[cfg_idx] if kernel.model == "inter"
+        else _INTRA_CONFIGS[cfg_idx]
+    )
+    rec = Tracer()
+    first = run_litmus(
+        name, config, verify=False, tracer=rec, memory_digest=True,
+        engine=engine,
+    )
+    rep = Tracer()
+    second = run_replay(
+        rec.events, config, machine_params=machine_params(kernel),
+        num_threads=kernel.threads, tracer=rep, memory_digest=True,
+        engine=engine,
+    )
+    assert rep.events == rec.events
+    assert second.stats == first.stats
+    assert second.memory_digest == first.memory_digest
+
+
+@given(case_strategy)
+@settings(max_examples=10, deadline=None)
+def test_replay_is_idempotent(case):
+    """Replaying the re-recorded trace changes nothing further."""
+    name, engine, cfg_idx = case
+    kernel = LITMUS[name]
+    config = (
+        _INTER_CONFIGS[cfg_idx] if kernel.model == "inter"
+        else _INTRA_CONFIGS[cfg_idx]
+    )
+    rec = Tracer()
+    run_litmus(name, config, verify=False, tracer=rec, engine=engine)
+    rep1 = Tracer()
+    run_replay(
+        rec.events, config, machine_params=machine_params(kernel),
+        num_threads=kernel.threads, tracer=rep1, engine=engine,
+    )
+    rep2 = Tracer()
+    run_replay(
+        rep1.events, config, machine_params=machine_params(kernel),
+        num_threads=kernel.threads, tracer=rep2, engine=engine,
+    )
+    assert rep2.events == rep1.events == rec.events

@@ -1,0 +1,142 @@
+"""Unit tests for the seeded generative traffic engine (repro.workloads.gen)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.config import INTRA_BASE, INTRA_BMI, INTRA_HCC
+from repro.core.machine import Machine
+from repro.workloads.gen import (
+    PATTERNS,
+    ScenarioSpec,
+    build_scenario,
+    gen_machine_params,
+    lint_scenario,
+    run_gen,
+    sample_specs,
+    spawn_scenario,
+    verify_scenario,
+)
+from repro.workloads.gen.patterns import BUILDERS
+
+
+# ---------------------------------------------------------------------------
+# ScenarioSpec
+# ---------------------------------------------------------------------------
+
+
+def test_every_pattern_has_a_builder():
+    assert set(BUILDERS) == set(PATTERNS)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"pattern": "warp_speed"},
+        {"pattern": "zipf_hot", "threads": 1},
+        {"pattern": "zipf_hot", "footprint_lines": 0},
+        {"pattern": "zipf_hot", "rounds": 0},
+        {"pattern": "zipf_hot", "skew": 0.0},
+    ],
+)
+def test_spec_validation_rejects_bad_parameters(kwargs):
+    with pytest.raises(ConfigError):
+        ScenarioSpec(seed=1, **kwargs)
+
+
+def test_spec_dict_roundtrip_and_digest_stability():
+    spec = ScenarioSpec(pattern="migratory", seed=42, threads=3)
+    again = ScenarioSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.digest() == spec.digest()
+    assert spec.name.startswith("gen:migratory/")
+
+
+def test_sample_specs_is_deterministic_and_covers_patterns():
+    a = sample_specs(10, seed=7)
+    b = sample_specs(10, seed=7)
+    assert a == b
+    assert len(a) == 10
+    assert {s.pattern for s in a} == set(PATTERNS)
+    assert sample_specs(10, seed=8) != a
+
+
+# ---------------------------------------------------------------------------
+# building and running scenarios
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_each_pattern_runs_and_verifies_everywhere(pattern):
+    spec = ScenarioSpec(pattern=pattern, seed=3)
+    for config in (INTRA_HCC, INTRA_BASE, INTRA_BMI):
+        run_gen(spec, config)  # verify=True raises on oracle mismatch
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_each_pattern_lints_clean(pattern):
+    spec = ScenarioSpec(pattern=pattern, seed=3)
+    report = lint_scenario(spec, INTRA_BMI)
+    assert report.clean, [f.rule_id for f in report.findings]
+
+
+def test_scenario_shape():
+    spec = ScenarioSpec(pattern="producer_consumer", seed=5, threads=3)
+    scenario = build_scenario(spec)
+    assert scenario.spec is spec
+    assert len(scenario.programs) == 3
+    names = [name for name, _ in scenario.arrays]
+    assert "sink" in names
+    expected = dict(scenario.expected)
+    assert len(expected["sink"]) == 3
+    # Straight-line macro tuples: digestable without execution.
+    assert scenario.program_digest() == build_scenario(spec).program_digest()
+
+
+def test_spawn_scenario_rejects_thread_mismatch(small_intra):
+    spec = ScenarioSpec(pattern="zipf_hot", seed=1, threads=3)
+    scenario = build_scenario(spec)
+    machine = Machine(small_intra, INTRA_BMI, num_threads=2)
+    with pytest.raises(ConfigError, match="needs 3 threads"):
+        spawn_scenario(machine, scenario)
+
+
+def test_verify_scenario_names_the_first_bad_word():
+    spec = ScenarioSpec(pattern="false_sharing", seed=9, threads=2)
+    scenario = build_scenario(spec)
+    machine = Machine(
+        gen_machine_params(spec), INTRA_HCC, num_threads=spec.threads
+    )
+    arrays = spawn_scenario(machine, scenario)
+    machine.run()
+    verify_scenario(machine, scenario, arrays)  # the true image passes
+    name0, words = scenario.expected[0]
+    tampered = list(words)
+    tampered[0] += 1
+    bad = type(scenario)(
+        spec=scenario.spec,
+        arrays=scenario.arrays,
+        programs=scenario.programs,
+        expected=((name0, tuple(tampered)),) + tuple(scenario.expected[1:]),
+    )
+    with pytest.raises(AssertionError, match=rf"{name0}\[0\]"):
+        verify_scenario(machine, bad, arrays)
+
+
+def test_gen_machine_params_floor_four_cores():
+    small = ScenarioSpec(pattern="zipf_hot", seed=1, threads=2)
+    big = ScenarioSpec(pattern="zipf_hot", seed=1, threads=8)
+    assert gen_machine_params(small).num_cores == 4
+    assert gen_machine_params(big).num_cores == 8
+
+
+def test_run_gen_under_faults_keeps_the_oracle():
+    from repro.faults.model import random_plans
+
+    spec = ScenarioSpec(pattern="lock_convoy", seed=11)
+    plan = random_plans(1, seed=4)[0]
+    clean = run_gen(spec, INTRA_BMI, memory_digest=True)
+    hurt = run_gen(spec, INTRA_BMI, faults=plan, memory_digest=True)
+    assert hurt.memory_digest == clean.memory_digest
+    assert hurt.faults is not None

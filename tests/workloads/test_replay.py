@@ -1,0 +1,185 @@
+"""Trace-driven replay: reconstruction units + the round-trip guarantee.
+
+The headline contract is ``record -> replay -> re-record is bit-identical``
+(events and final MachineStats alike), checked here over the *full* litmus
+registry — determinate and intentionally broken kernels, intra and inter
+models, both simulator engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.config import INTRA_BMI, inter_config
+from repro.core.machine import Machine
+from repro.eval.runner import run_litmus
+from repro.isa import ops as isa
+from repro.obs.schema import TraceSchemaError
+from repro.obs.trace import Tracer
+from repro.workloads.litmus import LITMUS, machine_params
+from repro.workloads.replay import (
+    infer_num_threads,
+    load_events,
+    op_from_event,
+    programs_by_core,
+    run_replay,
+    spawn_replay,
+)
+
+INTER_ADDR_L = inter_config("Addr+L")
+
+
+def _config_for(kernel):
+    return INTER_ADDR_L if kernel.model == "inter" else INTRA_BMI
+
+
+def roundtrip(name: str, engine: str):
+    """Record one litmus kernel, replay it, re-record; return both sides."""
+    kernel = LITMUS[name]
+    config = _config_for(kernel)
+    rec = Tracer()
+    first = run_litmus(
+        name, config, verify=False, tracer=rec, memory_digest=True,
+        engine=engine,
+    )
+    rep = Tracer()
+    second = run_replay(
+        rec.events, config, machine_params=machine_params(kernel),
+        num_threads=kernel.threads, tracer=rep, memory_digest=True,
+        engine=engine,
+    )
+    return rec, first, rep, second
+
+
+@pytest.mark.parametrize("name", sorted(LITMUS))
+def test_roundtrip_bit_identical_full_registry(name):
+    rec, first, rep, second = roundtrip(name, "ref")
+    assert rep.events == rec.events
+    assert second.stats == first.stats
+    assert second.memory_digest == first.memory_digest
+
+
+@pytest.mark.parametrize("name", sorted(LITMUS))
+def test_roundtrip_bit_identical_fast_engine(name):
+    rec, first, rep, second = roundtrip(name, "fast")
+    assert rep.events == rec.events
+    assert second.stats == first.stats
+    assert second.memory_digest == first.memory_digest
+
+
+# ---------------------------------------------------------------------------
+# event -> op reconstruction units
+# ---------------------------------------------------------------------------
+
+
+def test_read_write_compute_reconstruct():
+    rd = op_from_event({"kind": "read", "core": 0, "cycle": 0, "addr": 64})
+    assert type(rd) is isa.Read and rd.addr == 64
+    wr = op_from_event(
+        {"kind": "write", "core": 0, "cycle": 0, "addr": 68, "val": -3}
+    )
+    assert type(wr) is isa.Write and (wr.addr, wr.value) == (68, -3)
+    cp = op_from_event({"kind": "compute", "core": 0, "cycle": 0, "lat": 7})
+    assert type(cp) is isa.Compute and cp.cycles == 7
+
+
+def test_object_valued_write_replays_as_none():
+    # A write event with no `val` recorded an unserializable object value;
+    # the replayed store must carry None so the re-record omits `val` too.
+    wr = op_from_event({"kind": "write", "core": 0, "cycle": 0, "addr": 64})
+    assert type(wr) is isa.Write and wr.value is None
+
+
+def test_sync_events_reconstruct_with_operands():
+    bar = op_from_event(
+        {"kind": "sync", "core": 0, "cycle": 0, "op": "barrier",
+         "arg": 2, "n": 4}
+    )
+    assert type(bar) is isa.Barrier and (bar.bid, bar.count) == (2, 4)
+    fw = op_from_event(
+        {"kind": "sync", "core": 0, "cycle": 0, "op": "flag_wait",
+         "arg": 1, "n": 9}
+    )
+    assert type(fw) is isa.FlagWait and (fw.fid, fw.value) == (1, 9)
+    lk = op_from_event(
+        {"kind": "sync", "core": 0, "cycle": 0, "op": "lock_acquire", "arg": 3}
+    )
+    assert type(lk) is isa.LockAcquire and lk.lid == 3
+
+
+def test_hardware_events_are_skipped():
+    for ev in (
+        {"kind": "fill", "core": 0, "cycle": 0, "addr": 64},
+        {"kind": "evict", "core": 0, "cycle": 0, "addr": 64},
+        {"kind": "fault", "core": 0, "cycle": 0},
+        {"kind": "sync", "core": 0, "cycle": 0, "op": "barrier_grant"},
+        {"kind": "inv", "core": 0, "cycle": 0, "op": "DIR_INV", "addr": 64},
+        {"kind": "wb", "core": 0, "cycle": 0, "op": "DIR_FWD", "addr": 64},
+    ):
+        assert op_from_event(ev) is None, ev
+
+
+def test_wb_all_via_meb_and_epoch_flags_roundtrip():
+    wb = op_from_event(
+        {"kind": "wb", "core": 0, "cycle": 0, "op": "WB_ALL", "arg": 1}
+    )
+    assert type(wb) is isa.WBAll and wb.via_meb
+    ep = op_from_event(
+        {"kind": "epoch", "core": 0, "cycle": 0, "op": "epoch_begin", "arg": 3}
+    )
+    assert type(ep) is isa.EpochBegin
+    assert ep.record_meb and ep.ieb_mode
+
+
+def test_programs_by_core_partitions_in_order():
+    events = [
+        {"kind": "read", "core": 1, "cycle": 0, "addr": 64},
+        {"kind": "fill", "core": 0, "cycle": 1, "addr": 64},
+        {"kind": "write", "core": 0, "cycle": 2, "addr": 68, "val": 5},
+        {"kind": "read", "core": 1, "cycle": 3, "addr": 68},
+    ]
+    streams = programs_by_core(events)
+    assert sorted(streams) == [0, 1]
+    assert [type(op) for op in streams[1]] == [isa.Read, isa.Read]
+    assert infer_num_threads(streams) == 2
+
+
+def test_infer_num_threads_rejects_empty_trace():
+    with pytest.raises(ConfigError):
+        infer_num_threads({})
+
+
+def test_spawn_replay_rejects_stranded_cores(small_intra):
+    machine = Machine(small_intra, INTRA_BMI, num_threads=2)
+    events = [{"kind": "read", "core": 3, "cycle": 0, "addr": 64}]
+    with pytest.raises(ConfigError, match="unplaced core"):
+        spawn_replay(machine, events)
+
+
+def test_load_events_validates_with_line_numbers(tmp_path):
+    bad_json = tmp_path / "bad.jsonl"
+    bad_json.write_text('{"kind": "read"\n')
+    with pytest.raises(TraceSchemaError, match="bad.jsonl:1"):
+        load_events(bad_json)
+    bad_schema = tmp_path / "schema.jsonl"
+    bad_schema.write_text('{"kind": "warp", "core": 0, "cycle": 0}\n')
+    with pytest.raises(TraceSchemaError, match="schema.jsonl:1"):
+        load_events(bad_schema)
+
+
+def test_run_replay_accepts_a_jsonl_path(tmp_path):
+    kernel = LITMUS["mp2"] if "mp2" in LITMUS else LITMUS[sorted(LITMUS)[0]]
+    rec = Tracer()
+    first = run_litmus(
+        kernel.name, _config_for(kernel), verify=False, tracer=rec,
+        memory_digest=True,
+    )
+    path = tmp_path / "t.jsonl"
+    rec.write_jsonl(path)
+    second = run_replay(
+        path, _config_for(kernel), machine_params=machine_params(kernel),
+        memory_digest=True,
+    )
+    assert second.stats == first.stats
+    assert second.memory_digest == first.memory_digest
