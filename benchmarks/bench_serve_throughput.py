@@ -1,0 +1,49 @@
+"""Job-server throughput: hundreds of concurrent submissions, verified.
+
+Thin runnable wrapper over :func:`repro.serve.loadgen.bench_serve` (the
+same code path as ``repro serve --bench``): boots an in-process job
+server, replays ``--jobs`` concurrent submissions per pass from
+``--concurrency`` client threads — a cold pass against an empty result
+cache, then a hot pass resubmitting the identical job set — verifies
+every served result bit-identical to a direct ``SweepExecutor`` run, and
+archives p50/p99 latency plus cache-hit ratio to ``BENCH_serve.json`` at
+the repository root.  Exits non-zero on any divergence or failed job.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=120,
+                        help="submissions per pass (default: 120)")
+    parser.add_argument("--concurrency", type=int, default=24,
+                        help="concurrent client threads (default: 24)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="server worker-pool width (default: 8)")
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="workload scale per cell (default: 0.3)")
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output path (default: BENCH_serve.json)")
+    args = parser.parse_args()
+
+    from repro.serve.loadgen import bench_serve
+
+    doc = bench_serve(
+        jobs=args.jobs,
+        concurrency=args.concurrency,
+        workers=args.workers,
+        scale=args.scale,
+        out=args.out,
+    )
+    print(json.dumps(doc, indent=1, sort_keys=True))
+    bad = sum(
+        doc[p][k] for p in ("cold", "hot") for k in ("divergences", "failures")
+    )
+    return 0 if bad == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,8 @@ Usage (also via ``python -m repro``)::
     repro chaos --list-faults               # injectable fault catalog
     repro bench fig9 --engine fast --repeat 3      # timed sweep -> BENCH json
     repro bench fig9 --profile              # cProfile the sweep (top 25)
+    repro serve --port 8787 --workers 8     # HTTP/JSON job server (SERVICE.md)
+    repro serve --bench --jobs-count 120    # load-gen -> BENCH_serve.json
 
 Engine selection: ``--engine {ref,fast}`` (or ``$REPRO_ENGINE``) picks the
 simulator core — ``ref`` is the dict-based reference, ``fast`` the
@@ -682,6 +684,54 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the job server — or, with ``--bench``, the load generator."""
+    from repro.common.rng import DEFAULT_SEED
+    from repro.serve import ServerConfig, WorkerFaultPlan, bench_serve
+    from repro.serve import server as serve_server
+
+    if args.bench:
+        doc = bench_serve(
+            jobs=args.jobs_count,
+            concurrency=args.concurrency,
+            workers=args.workers,
+            scale=args.scale,
+            out=args.out or "BENCH_serve.json",
+        )
+        cold, hot = doc["cold"], doc["hot"]
+        print(f"serve bench: {doc['jobs_per_pass']} jobs/pass x 2 passes, "
+              f"{doc['concurrency']} client(s), {doc['workers']} worker(s)")
+        print(f"  cold  p50 {cold['p50_ms']}ms  p99 {cold['p99_ms']}ms  "
+              f"hit-ratio {cold['hit_ratio']}  ({cold['jobs_per_s']} jobs/s)")
+        print(f"  hot   p50 {hot['p50_ms']}ms  p99 {hot['p99_ms']}ms  "
+              f"hit-ratio {hot['hit_ratio']}  ({hot['jobs_per_s']} jobs/s)")
+        print(f"  divergences {cold['divergences'] + hot['divergences']}  "
+              f"failures {cold['failures'] + hot['failures']}  "
+              f"hot/cold speedup {doc['speedup_hot_vs_cold']}x")
+        bad = (cold["divergences"] + hot["divergences"]
+               + cold["failures"] + hot["failures"])
+        return 0 if bad == 0 else 1
+    faults = None
+    if args.fault_rate:
+        faults = WorkerFaultPlan(
+            rate=args.fault_rate,
+            kind=args.fault_kind,
+            seed=DEFAULT_SEED if args.fault_seed is None else args.fault_seed,
+        )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        quota=args.quota,
+        queue_limit=args.queue_limit,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache=not args.no_cache,
+        faults=faults,
+    )
+    return serve_server.run(config)
+
+
 def _cmd_table1(_args) -> int:
     print(rpt.render_table1())
     return 0
@@ -730,15 +780,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.set_defaults(fn=_cmd_run)
 
-    for name, fn, needs_scale in (
-        ("fig9", _cmd_fig9, True),
-        ("fig10", _cmd_fig10, True),
-        ("fig11", _cmd_fig11, True),
-        ("fig12", _cmd_fig12, True),
-        ("table1", _cmd_table1, False),
-        ("storage", _cmd_storage, False),
+    for name, fn, needs_scale, blurb in (
+        ("fig9", _cmd_fig9, True,
+         "regenerate fig9: intra-block config sweep (exec-time breakdown)"),
+        ("fig10", _cmd_fig10, True,
+         "regenerate fig10: software coherence (B+M+I) vs hardware MESI"),
+        ("fig11", _cmd_fig11, True,
+         "regenerate fig11: inter-block locality (Addr vs Addr+L)"),
+        ("fig12", _cmd_fig12, True,
+         "regenerate fig12: inter-block config sweep (NoC traffic)"),
+        ("table1", _cmd_table1, False,
+         "regenerate table1: WB/INV annotation rules"),
+        ("storage", _cmd_storage, False,
+         "regenerate the per-structure storage-overhead report"),
     ):
-        p = sub.add_parser(name, help=f"regenerate {name}")
+        p = sub.add_parser(name, help=blurb)
         if needs_scale:
             p.add_argument("--scale", type=float, default=1.0)
             p.add_argument(
@@ -1018,6 +1074,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the verdict JSON to PATH (the CI artifact)",
     )
     p_fleet.set_defaults(fn=_cmd_fleet)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="HTTP/JSON job server over the sweep engine (simulation "
+        "as a service); --bench runs the load generator",
+        description=(
+            "Serve sweep/gen/litmus/chaos/lint/fleet jobs over HTTP: "
+            "requests are validated against the versioned job schema, "
+            "sharded across a bounded worker pool, and fronted by the "
+            "persistent result cache so identical submissions from any "
+            "number of clients simulate once.  Admission control: a "
+            "per-client active-job quota and a global queue ceiling, both "
+            "answered with HTTP 429.  SIGINT/SIGTERM drain gracefully.  "
+            "With --bench, instead run the load generator against an "
+            "in-process server (cold + hot pass), verify zero divergence "
+            "vs direct execution, and archive p50/p99 latency plus "
+            "cache-hit ratio to BENCH_serve.json.  API reference: "
+            "docs/SERVICE.md."
+        ),
+    )
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8787,
+                       help="TCP port; 0 picks an ephemeral port "
+                       "(default: 8787)")
+    p_srv.add_argument("--workers", type=int, default=4,
+                       help="worker pool width (default: 4)")
+    p_srv.add_argument("--quota", type=int, default=8,
+                       help="max active jobs per client (default: 8)")
+    p_srv.add_argument("--queue-limit", type=int, default=512,
+                       help="max queued+in-flight work units before "
+                       "submissions get 429 (default: 512)")
+    p_srv.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-unit wall-clock budget in seconds "
+                       "(default: none)")
+    p_srv.add_argument("--retries", type=int, default=1,
+                       help="per-unit retry budget (default: 1)")
+    p_srv.add_argument("--no-cache", action="store_true",
+                       help="serve without the persistent result cache")
+    p_srv.add_argument("--fault-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="inject seeded worker faults with per-attempt "
+                       "probability P (resilience testing; default: 0)")
+    p_srv.add_argument("--fault-kind", choices=("crash", "stall"),
+                       default="crash",
+                       help="injected fault mode (default: crash)")
+    p_srv.add_argument("--fault-seed", type=int, default=None,
+                       help="fault-stream seed (default: the repo-wide seed)")
+    p_srv.add_argument("--bench", action="store_true",
+                       help="run the load-generator benchmark instead of "
+                       "serving")
+    p_srv.add_argument("--jobs-count", type=int, default=120, metavar="N",
+                       help="bench: submissions per pass (default: 120)")
+    p_srv.add_argument("--concurrency", type=int, default=24,
+                       help="bench: concurrent client threads (default: 24)")
+    p_srv.add_argument("--scale", type=float, default=0.3,
+                       help="bench: workload scale per cell (default: 0.3)")
+    p_srv.add_argument("--out", metavar="PATH", default=None,
+                       help="bench: JSON output path "
+                       "(default: BENCH_serve.json at repo root)")
+    p_srv.set_defaults(fn=_cmd_serve)
 
     p_t3 = sub.add_parser("table3", help="print the architecture table")
     p_t3.add_argument("--machine", choices=("intra", "inter"), default="inter")

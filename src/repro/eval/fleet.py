@@ -44,22 +44,19 @@ from repro.workloads.gen import ScenarioSpec, lint_scenario, sample_specs
 DEFAULT_FLEET_CONFIGS = (INTRA_BASE, INTRA_BMI)
 
 
-def run_fleet(
+def fleet_cells(
     specs: Sequence[ScenarioSpec],
     *,
     configs: Sequence[ExperimentConfig] = DEFAULT_FLEET_CONFIGS,
     engines: Sequence[str] = ("ref",),
-    executor: SweepExecutor | None = None,
-    lint: bool = True,
-) -> dict:
-    """Run the scenario fleet; return the JSON-safe verdict document.
+) -> list[SweepCell]:
+    """Lower a fleet to its flat cell list (validating the matrix).
 
-    ``configs`` must be software-coherent (the HCC reference is implicit);
-    ``engines`` are registry names (:mod:`repro.engines`).  Every cell
-    requests a memory digest and runs with ``verify=True``, so a scenario
-    whose image deviates from its analytic oracle raises immediately; the
-    verdict additionally cross-compares digests (oracle) and stats+digest
-    pairs (engines) and records per-scenario detail.
+    Per scenario: one HCC reference cell, then one cell per
+    (config × engine), giving a fixed stride of
+    ``1 + len(configs) * len(engines)`` that :func:`fleet_verdict`
+    re-slices.  Exposed separately so the job server can shard the same
+    cells across its worker pool and fold them back with the same verdict.
     """
     if not specs:
         raise ConfigError("fleet needs at least one scenario")
@@ -70,8 +67,6 @@ def run_fleet(
             raise ConfigError(
                 "fleet configs must be software-coherent (HCC is implicit)"
             )
-    executor = executor or SweepExecutor()
-
     cells: list[SweepCell] = []
     for spec in specs:
         cells.append(
@@ -87,8 +82,19 @@ def run_fleet(
                         memory_digest=True, engine=engine,
                     )
                 )
-    results = executor.run_cells(cells)
+    return cells
 
+
+def fleet_verdict(
+    specs: Sequence[ScenarioSpec],
+    results: Sequence,
+    *,
+    configs: Sequence[ExperimentConfig] = DEFAULT_FLEET_CONFIGS,
+    engines: Sequence[str] = ("ref",),
+    lint: bool = True,
+    sweep_summary: str = "",
+) -> dict:
+    """Fold per-cell results (in :func:`fleet_cells` order) into the verdict."""
     stride = 1 + len(configs) * len(engines)
     details: list[dict] = []
     oracle_divergences = engine_mismatches = lint_violations = 0
@@ -141,15 +147,44 @@ def run_fleet(
         "patterns": patterns,
         "configs": [cfg.name for cfg in configs],
         "engines": list(engines),
-        "cells": len(cells),
+        "cells": len(results),
         "lint_checks": (len(specs) * len(configs)) if lint else 0,
         "oracle_divergences": oracle_divergences,
         "engine_mismatches": engine_mismatches,
         "lint_violations": lint_violations,
         "clean": not (oracle_divergences or engine_mismatches or lint_violations),
-        "sweep": executor.stats.summary(),
+        "sweep": sweep_summary,
         "details": details,
     }
+
+
+def run_fleet(
+    specs: Sequence[ScenarioSpec],
+    *,
+    configs: Sequence[ExperimentConfig] = DEFAULT_FLEET_CONFIGS,
+    engines: Sequence[str] = ("ref",),
+    executor: SweepExecutor | None = None,
+    lint: bool = True,
+) -> dict:
+    """Run the scenario fleet; return the JSON-safe verdict document.
+
+    ``configs`` must be software-coherent (the HCC reference is implicit);
+    ``engines`` are registry names (:mod:`repro.engines`).  Every cell
+    requests a memory digest and runs with ``verify=True``, so a scenario
+    whose image deviates from its analytic oracle raises immediately; the
+    verdict additionally cross-compares digests (oracle) and stats+digest
+    pairs (engines) and records per-scenario detail.  Composes
+    :func:`fleet_cells` + one :meth:`SweepExecutor.run_cells` call +
+    :func:`fleet_verdict` — the job server runs the same two pure halves
+    around its own worker pool.
+    """
+    executor = executor or SweepExecutor()
+    cells = fleet_cells(specs, configs=configs, engines=engines)
+    results = executor.run_cells(cells)
+    return fleet_verdict(
+        specs, results, configs=configs, engines=engines, lint=lint,
+        sweep_summary=executor.stats.summary(),
+    )
 
 
 def run_default_fleet(

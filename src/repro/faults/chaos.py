@@ -248,6 +248,44 @@ class ChaosResult:
         return not self.divergences
 
 
+def chaos_cells(
+    targets: Sequence[ChaosTarget], plans: Sequence[FaultPlan]
+) -> list[SweepCell]:
+    """Lower a chaos matrix to its flat cell list.
+
+    Per target: the HCC reference, the fault-free baseline, then one cell
+    per plan — a fixed stride of ``2 + len(plans)`` that
+    :func:`assemble_chaos` re-slices.  Exposed separately so the job
+    server can shard the same cells across its worker pool.
+    """
+    if not targets:
+        raise ConfigError("chaos needs at least one target")
+    cells: list[SweepCell] = []
+    for target in targets:
+        cells.append(target.cell(target.reference, None))
+        cells.append(target.cell(target.config, None))
+        cells.extend(target.cell(target.config, plan) for plan in plans)
+    return cells
+
+
+def assemble_chaos(
+    targets: Sequence[ChaosTarget],
+    plans: Sequence[FaultPlan],
+    results: Sequence[RunResult],
+    *,
+    sweep_summary: str = "",
+) -> ChaosResult:
+    """Fold per-cell results (in :func:`chaos_cells` order) into a result."""
+    outcomes = []
+    stride = 2 + len(plans)
+    for i, target in enumerate(targets):
+        chunk = results[i * stride:(i + 1) * stride]
+        outcomes.append(
+            TargetOutcome(target, chunk[0], chunk[1], list(chunk[2:]))
+        )
+    return ChaosResult(list(plans), outcomes, sweep_summary)
+
+
 def run_chaos(
     targets: Sequence[ChaosTarget],
     plans: Sequence[FaultPlan],
@@ -258,25 +296,14 @@ def run_chaos(
 
     All cells go through one :meth:`SweepExecutor.run_cells` call, so the
     whole chaos matrix parallelizes and caches like any other sweep.
+    Composes :func:`chaos_cells` + the executor + :func:`assemble_chaos`;
+    the job server runs the same two pure halves around its worker pool.
     """
-    if not targets:
-        raise ConfigError("chaos needs at least one target")
     executor = executor or SweepExecutor()
-    cells: list[SweepCell] = []
-    for target in targets:
-        cells.append(target.cell(target.reference, None))
-        cells.append(target.cell(target.config, None))
-        cells.extend(target.cell(target.config, plan) for plan in plans)
+    cells = chaos_cells(targets, plans)
     results = executor.run_cells(cells)
-    outcomes = []
-    stride = 2 + len(plans)
-    for i, target in enumerate(targets):
-        chunk = results[i * stride:(i + 1) * stride]
-        outcomes.append(
-            TargetOutcome(target, chunk[0], chunk[1], list(chunk[2:]))
-        )
-    return ChaosResult(
-        list(plans), outcomes, executor.stats.summary()
+    return assemble_chaos(
+        targets, plans, results, sweep_summary=executor.stats.summary()
     )
 
 

@@ -1,0 +1,55 @@
+"""Simulation-as-a-service: the ``repro serve`` job server.
+
+One process multiplexes many concurrent clients over the sweep engine:
+:mod:`repro.serve.jobs` validates requests against the versioned job
+schema and lowers them to sweep-cell work units, :mod:`repro.serve.pool`
+runs those units on a bounded worker pool fronted by the shared result
+cache, :mod:`repro.serve.server` is the asyncio HTTP/JSON front end
+(lifecycle, streaming, quotas, graceful drain), and
+:mod:`repro.serve.loadgen` is the benchmark client behind
+``repro serve --bench``.  API reference: ``docs/SERVICE.md``.
+"""
+
+from repro.serve.jobs import (
+    JOB_KINDS,
+    JOB_SCHEMA,
+    JOB_STATES,
+    MAX_UNITS,
+    TERMINAL_STATES,
+    CompiledJob,
+    JobError,
+    Unit,
+    compile_job,
+)
+from repro.serve.loadgen import LocalServer, bench_serve
+from repro.serve.pool import (
+    UnitOutcome,
+    WorkerCrash,
+    WorkerFaultPlan,
+    WorkerPool,
+    WorkItem,
+)
+from repro.serve.server import Job, JobServer, ServerConfig, run
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_SCHEMA",
+    "JOB_STATES",
+    "MAX_UNITS",
+    "TERMINAL_STATES",
+    "CompiledJob",
+    "Job",
+    "JobError",
+    "JobServer",
+    "LocalServer",
+    "ServerConfig",
+    "Unit",
+    "UnitOutcome",
+    "WorkItem",
+    "WorkerCrash",
+    "WorkerFaultPlan",
+    "WorkerPool",
+    "bench_serve",
+    "compile_job",
+    "run",
+]

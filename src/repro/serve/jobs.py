@@ -1,0 +1,510 @@
+"""Versioned job schema: validate requests and compile them into work units.
+
+A job request is one JSON document::
+
+    {"schema": 1, "kind": "sweep", "client": "alice", "spec": {...}}
+
+``schema`` is the job-schema version (:data:`JOB_SCHEMA`; requests naming a
+different version are rejected so clients never silently run under changed
+semantics), ``kind`` one of :data:`JOB_KINDS`, ``client`` an optional quota
+identity (the ``X-Repro-Client`` header wins when both are present), and
+``spec`` the kind-specific parameters documented in ``docs/SERVICE.md``.
+
+:func:`compile_job` validates the document and lowers it to a
+:class:`CompiledJob`: an ordered list of :class:`Unit` work items — almost
+always :class:`~repro.eval.parallel.SweepCell` cells, exactly the objects
+the direct CLI sweeps run, so served results are bit-identical to local
+runs by construction — plus a ``finalize`` callable that folds the unit
+results into the kind's JSON-safe result document.  Validation failures
+raise :class:`JobError` with an HTTP-ish status (400); admission-control
+failures (quota, backpressure) are the server's 429s, not this module's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.core.config import (
+    INTER_ADDR_L,
+    INTRA_BMI,
+    inter_config,
+    intra_config,
+)
+from repro.common.errors import ConfigError
+from repro.eval.parallel import SweepCell
+from repro.workloads import MODEL_ONE, MODEL_TWO
+
+#: Version of the request document this server understands.  Bump on any
+#: incompatible change to the payload layout or the per-kind spec fields;
+#: requests carrying another version are rejected with a 400.
+JOB_SCHEMA = 1
+
+#: Job kinds the server accepts (each maps to one ``_compile_*`` lowerer).
+JOB_KINDS = ("sweep", "gen", "litmus", "chaos", "lint", "fleet")
+
+#: Job lifecycle states (see docs/SERVICE.md).  ``cancelling`` is the
+#: transient window between a cancel request and the last in-flight unit
+#: draining; the other five are the stable states.
+JOB_STATES = (
+    "queued", "running", "cancelling", "done", "failed", "cancelled",
+)
+
+#: States a job can never leave.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Hard per-job unit ceiling — admission control guards the queue, this
+#: guards a single request from monopolizing it.
+MAX_UNITS = 1024
+
+_SENTINEL = object()
+
+
+class JobError(ValueError):
+    """A job request that fails validation (HTTP 400)."""
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One schedulable work item of a job.
+
+    Either a sweep ``cell`` (run through a cached
+    :class:`~repro.eval.parallel.SweepExecutor`, the common case) or a
+    plain ``fn`` returning a JSON-safe dict (static analysis, which has no
+    sweep-cell form).  Exactly one of the two is set.
+    """
+
+    label: str
+    cell: SweepCell | None = None
+    fn: Callable[[], dict] | None = None
+
+
+@dataclass
+class CompiledJob:
+    """A validated job lowered to work units plus its result assembler.
+
+    ``finalize`` receives the per-unit results in unit order (RunResult
+    for cells, dicts for ``fn`` units) and returns the JSON-safe result
+    document; it runs on a worker thread, so CPU-bound assembly (e.g. the
+    fleet's lint pass) never blocks the event loop.
+    """
+
+    kind: str
+    spec: dict
+    units: list[Unit]
+    finalize: Callable[[list], dict]
+    description: str = ""
+
+
+def _expect(cond: bool, message: str) -> None:
+    """Raise a 400 :class:`JobError` unless *cond* holds."""
+    if not cond:
+        raise JobError(message)
+
+
+def _get(spec: dict, name: str, default=_SENTINEL, *, types=None):
+    """Fetch ``spec[name]`` with a default and an optional type check."""
+    value = spec.get(name, default)
+    if value is _SENTINEL:
+        raise JobError(f"spec.{name} is required")
+    if value is not default and types is not None:
+        allows_bool = types is bool or (
+            isinstance(types, tuple) and bool in types
+        )
+        if not isinstance(value, types) or (
+            isinstance(value, bool) and not allows_bool
+        ):
+            want = (
+                types.__name__
+                if isinstance(types, type)
+                else "/".join(t.__name__ for t in types)
+            )
+            raise JobError(
+                f"spec.{name} must be {want} (got {type(value).__name__})"
+            )
+    return value
+
+
+def _int_in(spec: dict, name: str, default: int, lo: int, hi: int) -> int:
+    """An int field clamped-checked to ``[lo, hi]``."""
+    value = _get(spec, name, default, types=int)
+    _expect(lo <= value <= hi, f"spec.{name} must be in [{lo}, {hi}]")
+    return value
+
+
+def _scale(spec: dict, default: float = 1.0) -> float:
+    value = _get(spec, "scale", default, types=(int, float))
+    _expect(0.0 < float(value) <= 4.0, "spec.scale must be in (0, 4]")
+    return float(value)
+
+
+def _engine(spec: dict) -> str | None:
+    engine = _get(spec, "engine", None, types=str)
+    if engine is not None:
+        _expect(engine in ("ref", "fast"), "spec.engine must be ref|fast")
+    return engine
+
+
+def _name_list(spec: dict, name: str, *, default=None) -> list[str]:
+    values = _get(spec, name, default, types=list)
+    if values is None:
+        return []
+    _expect(
+        bool(values) and all(isinstance(v, str) for v in values),
+        f"spec.{name} must be a non-empty list of names",
+    )
+    return list(values)
+
+
+def _configs(names: Sequence[str], model: str) -> list:
+    """Resolve Table II config names; ConfigError becomes a 400."""
+    out = []
+    for name in names:
+        try:
+            out.append(
+                intra_config(name) if model == "intra" else inter_config(name)
+            )
+        except ConfigError as exc:
+            raise JobError(str(exc)) from None
+    return out
+
+
+# -- per-kind lowerers -------------------------------------------------------
+
+
+def _compile_sweep(spec: dict) -> CompiledJob:
+    """``sweep``: an (apps × configs) matrix, the paper's figure shape."""
+    model = _get(spec, "model", "intra", types=str)
+    _expect(model in ("intra", "inter"), "spec.model must be intra|inter")
+    registry = MODEL_ONE if model == "intra" else MODEL_TWO
+    apps = _name_list(spec, "apps")
+    for app in apps:
+        _expect(app in registry, f"unknown {model} workload {app!r}")
+    configs = _configs(_name_list(spec, "configs"), model)
+    scale = _scale(spec)
+    engine = _engine(spec)
+    memory_digest = _get(spec, "memory_digest", False, types=bool)
+    kwargs: dict[str, Any] = {"scale": scale}
+    if model == "intra":
+        kwargs["num_threads"] = _int_in(spec, "num_threads", 16, 1, 64)
+    else:
+        kwargs["num_blocks"] = _int_in(spec, "num_blocks", 4, 1, 16)
+        kwargs["cores_per_block"] = _int_in(spec, "cores_per_block", 8, 1, 16)
+    if engine is not None:
+        kwargs["engine"] = engine
+    if memory_digest:
+        kwargs["memory_digest"] = True
+    units = [
+        Unit(
+            f"{model}:{app}/{cfg.name}",
+            cell=SweepCell.make(model, app, cfg, **kwargs),
+        )
+        for app in apps
+        for cfg in configs
+    ]
+
+    def finalize(results: list) -> dict:
+        flat = iter(results)
+        return {
+            "kind": "sweep",
+            "model": model,
+            "matrix": {
+                app: {cfg.name: next(flat).to_dict() for cfg in configs}
+                for app in apps
+            },
+        }
+
+    return CompiledJob(
+        "sweep", spec, units, finalize,
+        f"{model} sweep: {len(apps)} app(s) x {len(configs)} config(s)",
+    )
+
+
+def _compile_gen(spec: dict) -> CompiledJob:
+    """``gen``: one seeded scenario under one or more intra configs."""
+    from repro.common.rng import DEFAULT_SEED
+    from repro.workloads.gen import PATTERNS, ScenarioSpec
+
+    pattern = _get(spec, "pattern", types=str)
+    _expect(pattern in PATTERNS, f"spec.pattern must be one of {PATTERNS}")
+    sspec = ScenarioSpec(
+        pattern=pattern,
+        seed=_get(spec, "seed", DEFAULT_SEED, types=int),
+        threads=_int_in(spec, "threads", 4, 2, 32),
+        footprint_lines=_int_in(spec, "footprint_lines", 4, 1, 64),
+        rounds=_int_in(spec, "rounds", 2, 1, 16),
+        skew=float(_get(spec, "skew", 1.2, types=(int, float))),
+    )
+    configs = _configs(_name_list(spec, "configs", default=["B+M+I"]), "intra")
+    engine = _engine(spec)
+    kwargs: dict[str, Any] = {"spec": sspec, "memory_digest": True}
+    if engine is not None:
+        kwargs["engine"] = engine
+    units = [
+        Unit(
+            f"{sspec.name}/{cfg.name}",
+            cell=SweepCell.make("gen", sspec.name, cfg, **kwargs),
+        )
+        for cfg in configs
+    ]
+
+    def finalize(results: list) -> dict:
+        digests = {r.memory_digest for r in results}
+        return {
+            "kind": "gen",
+            "scenario": sspec.to_dict(),
+            "digest": results[0].memory_digest,
+            # Every config must land on the same image: generated programs
+            # are coherent by construction (each cell also self-verified
+            # against the analytic oracle while running).
+            "coherent": len(digests) == 1,
+            "cells": {
+                cfg.name: r.to_dict() for cfg, r in zip(configs, results)
+            },
+        }
+
+    return CompiledJob(
+        "gen", spec, units, finalize,
+        f"scenario {sspec.name} x {len(configs)} config(s)",
+    )
+
+
+def _compile_litmus(spec: dict) -> CompiledJob:
+    """``litmus``: registry kernels under their default chaos configs."""
+    from repro.workloads.litmus import LITMUS
+
+    if _get(spec, "all", False, types=bool):
+        kernels = list(LITMUS)
+    else:
+        kernels = _name_list(spec, "kernels")
+    for name in kernels:
+        _expect(name in LITMUS, f"unknown litmus kernel {name!r}")
+    engine = _engine(spec)
+    units = []
+    for name in kernels:
+        config = INTER_ADDR_L if LITMUS[name].model == "inter" else INTRA_BMI
+        kwargs: dict[str, Any] = {"memory_digest": True}
+        if engine is not None:
+            kwargs["engine"] = engine
+        units.append(
+            Unit(
+                f"litmus:{name}/{config.name}",
+                cell=SweepCell.make("litmus", name, config, **kwargs),
+            )
+        )
+
+    def finalize(results: list) -> dict:
+        return {
+            "kind": "litmus",
+            "kernels": {
+                name: r.to_dict() for name, r in zip(kernels, results)
+            },
+        }
+
+    return CompiledJob(
+        "litmus", spec, units, finalize, f"{len(kernels)} litmus kernel(s)"
+    )
+
+
+def _compile_chaos(spec: dict) -> CompiledJob:
+    """``chaos``: seeded fault plans over the degraded-verification matrix."""
+    from repro.common.rng import DEFAULT_SEED
+    from repro.faults.chaos import assemble_chaos, chaos_cells, default_targets
+    from repro.faults.model import FaultKind, random_plans
+    from repro.faults.report import summarize
+
+    num_plans = _int_in(spec, "plans", 3, 1, 100)
+    seed = _get(spec, "seed", DEFAULT_SEED, types=int)
+    kinds = None
+    fault_names = _name_list(spec, "faults", default=None)
+    if fault_names:
+        try:
+            kinds = [FaultKind(k) for k in fault_names]
+        except ValueError as exc:
+            raise JobError(str(exc)) from None
+    workloads = _name_list(spec, "workloads", default=None) or None
+    scale = _scale(spec, 0.5)
+    try:
+        targets = default_targets(workloads, scale=scale)
+        plans = random_plans(num_plans, seed=seed, kinds=kinds)
+    except ConfigError as exc:
+        raise JobError(str(exc)) from None
+    cells = chaos_cells(targets, plans)
+    units = [
+        Unit(f"chaos:{cell.kind}:{cell.app}/{cell.config.name}", cell=cell)
+        for cell in cells
+    ]
+
+    def finalize(results: list) -> dict:
+        summary = summarize(assemble_chaos(targets, plans, results))
+        summary["kind"] = "chaos"
+        return summary
+
+    return CompiledJob(
+        "chaos", spec, units, finalize,
+        f"{len(targets)} target(s) x {num_plans} plan(s)",
+    )
+
+
+def _lint_one(kind: str, name: str, config, scale: float) -> dict:
+    """Lint one workload/kernel on a worker thread; return the report dict."""
+    from repro.analysis import lint_machine
+    from repro.common.params import inter_block_machine, intra_block_machine
+    from repro.core.machine import Machine
+    from repro.workloads.litmus import LITMUS, machine_params, spawn_litmus
+
+    if kind == "litmus":
+        kernel = LITMUS[name]
+        machine = Machine(
+            machine_params(kernel), config, num_threads=kernel.threads
+        )
+        spawn_litmus(kernel, machine)
+    elif kind == "m1":
+        machine = Machine(intra_block_machine(4), config, num_threads=4)
+        MODEL_ONE[name](scale=scale).prepare(machine)
+    else:
+        machine = Machine(inter_block_machine(2, 2), config, num_threads=4)
+        cls = MODEL_TWO[name]
+        try:
+            workload = cls(scale=scale, num_blocks=2)
+        except TypeError:  # most Model-2 workloads are block-agnostic
+            workload = cls(scale=scale)
+        workload.prepare(machine)
+    report = lint_machine(machine, name=name, config=config.name)
+    doc = report.to_dict()
+    doc["clean"] = report.clean
+    return doc
+
+
+def _compile_lint(spec: dict) -> CompiledJob:
+    """``lint``: the Section IV-A static analyzer over named targets."""
+    from functools import partial
+
+    from repro.workloads.litmus import LITMUS
+
+    targets: list[tuple[str, str]] = []
+    if _get(spec, "all_workloads", False, types=bool):
+        targets += [("m1", n) for n in sorted(MODEL_ONE)]
+        targets += [("m2", n) for n in sorted(MODEL_TWO)]
+    for name in _name_list(spec, "workloads", default=None):
+        if name in MODEL_ONE:
+            targets.append(("m1", name))
+        elif name in MODEL_TWO:
+            targets.append(("m2", name))
+        elif name in LITMUS:
+            targets.append(("litmus", name))
+        else:
+            raise JobError(f"unknown workload or litmus kernel {name!r}")
+    _expect(bool(targets), "spec.workloads or spec.all_workloads required")
+    config_name = _get(spec, "config", None, types=str)
+    scale = _scale(spec, 0.5)
+    units = []
+    for kind, name in targets:
+        model = (
+            LITMUS[name].model if kind == "litmus"
+            else ("intra" if kind == "m1" else "inter")
+        )
+        chosen = config_name or ("Base" if model == "intra" else "Addr")
+        configs = _configs([chosen], model)
+        _expect(
+            not configs[0].hardware_coherent,
+            "HCC disables annotations; nothing to lint",
+        )
+        units.append(
+            Unit(
+                f"lint:{name}/{configs[0].name}",
+                fn=partial(_lint_one, kind, name, configs[0], scale),
+            )
+        )
+
+    def finalize(results: list) -> dict:
+        return {
+            "kind": "lint",
+            "clean": all(doc["clean"] for doc in results),
+            "reports": {
+                name: doc for (_, name), doc in zip(targets, results)
+            },
+        }
+
+    return CompiledJob(
+        "lint", spec, units, finalize, f"{len(targets)} lint target(s)"
+    )
+
+
+def _compile_fleet(spec: dict) -> CompiledJob:
+    """``fleet``: N sampled scenarios × configs × engines, verdict-gated."""
+    from repro.common.rng import DEFAULT_SEED
+    from repro.eval.fleet import fleet_cells, fleet_verdict
+    from repro.workloads.gen import sample_specs
+
+    num = _int_in(spec, "scenarios", 8, 1, 256)
+    seed = _get(spec, "seed", DEFAULT_SEED, types=int)
+    configs = _configs(
+        _name_list(spec, "configs", default=["Base", "B+M+I"]), "intra"
+    )
+    engines = _name_list(spec, "engines", default=["ref"])
+    for engine in engines:
+        _expect(engine in ("ref", "fast"), "spec.engines must be ref|fast")
+    lint = _get(spec, "lint", True, types=bool)
+    specs = sample_specs(num, seed=seed)
+    try:
+        cells = fleet_cells(specs, configs=configs, engines=engines)
+    except ConfigError as exc:
+        raise JobError(str(exc)) from None
+    units = [
+        Unit(f"fleet:{cell.app}/{cell.config.name}", cell=cell)
+        for cell in cells
+    ]
+
+    def finalize(results: list) -> dict:
+        verdict = fleet_verdict(
+            specs, results, configs=configs, engines=engines, lint=lint
+        )
+        verdict["kind"] = "fleet"
+        return verdict
+
+    return CompiledJob(
+        "fleet", spec, units, finalize,
+        f"{num} scenario(s) x {len(configs)} config(s) x "
+        f"{len(engines)} engine(s)",
+    )
+
+
+_COMPILERS: dict[str, Callable[[dict], CompiledJob]] = {
+    "sweep": _compile_sweep,
+    "gen": _compile_gen,
+    "litmus": _compile_litmus,
+    "chaos": _compile_chaos,
+    "lint": _compile_lint,
+    "fleet": _compile_fleet,
+}
+
+
+def compile_job(payload: Any) -> CompiledJob:
+    """Validate one request document and lower it to a :class:`CompiledJob`.
+
+    Raises :class:`JobError` (status 400) on any validation failure:
+    malformed document, unknown/mismatched schema version, unknown kind,
+    bad spec fields, or a unit count over :data:`MAX_UNITS`.
+    """
+    _expect(isinstance(payload, dict), "request body must be a JSON object")
+    schema = payload.get("schema", JOB_SCHEMA)
+    _expect(
+        schema == JOB_SCHEMA,
+        f"unsupported job schema {schema!r} (server speaks {JOB_SCHEMA})",
+    )
+    kind = payload.get("kind")
+    _expect(kind in JOB_KINDS, f"kind must be one of {JOB_KINDS}")
+    spec = payload.get("spec", {})
+    _expect(isinstance(spec, dict), "spec must be a JSON object")
+    job = _COMPILERS[kind](spec)
+    _expect(bool(job.units), "job compiled to zero work units")
+    _expect(
+        len(job.units) <= MAX_UNITS,
+        f"job compiles to {len(job.units)} units (max {MAX_UNITS})",
+    )
+    return job

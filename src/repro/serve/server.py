@@ -1,0 +1,644 @@
+"""Asyncio HTTP/JSON job server over the sweep engine (``repro serve``).
+
+Simulation-as-a-service: many concurrent clients submit sweep / gen /
+litmus / chaos / lint / fleet jobs to one process, which validates each
+request against the versioned job schema (:mod:`repro.serve.jobs`),
+shards its work units across a bounded worker pool
+(:mod:`repro.serve.pool`), and fronts everything with the persistent
+content-addressed result cache — so identical requests, from any number
+of clients, simulate exactly once.
+
+The API (full reference with curl examples in ``docs/SERVICE.md``)::
+
+    GET  /healthz                 liveness + drain state
+    GET  /v1/schema               job-schema version, kinds, states
+    GET  /v1/metrics              queue depth, jobs in flight, latency
+                                  histograms (repro.obs.Metrics snapshot)
+    GET  /v1/jobs[?client=NAME]   job summaries, newest first
+    POST /v1/jobs                 submit one job document
+    GET  /v1/jobs/ID              full status (+ result when terminal)
+    POST /v1/jobs/ID/cancel       request cancellation
+    GET  /v1/jobs/ID/events       chunked JSONL progress stream
+    POST /v1/shutdown             graceful drain + exit
+
+Lifecycle: ``queued -> running -> done | failed | cancelled`` (with a
+transient ``cancelling`` while in-flight units drain).  Admission control
+is two-layered: a per-client active-job quota and a global
+queued+in-flight unit ceiling (backpressure); both reject with HTTP 429
+so a well-behaved client backs off instead of queueing unboundedly.
+Progress streams are JSON lines in the same one-object-per-line
+discipline as the :mod:`repro.obs` trace schema, and server metrics live
+in a :class:`repro.obs.metrics.Metrics` registry (power-of-two latency
+histograms included) snapshotted at ``/v1/metrics``.
+
+The HTTP layer is deliberately minimal stdlib asyncio — request/response
+with ``Content-Length`` bodies, chunked transfer for event streams,
+connection-per-request — because the repo bakes in no server framework
+and the job API needs nothing more.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from dataclasses import dataclass
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.common.errors import ConfigError
+from repro.eval.cache import ResultCache
+from repro.obs.metrics import Metrics
+from repro.serve.jobs import (
+    JOB_KINDS,
+    JOB_SCHEMA,
+    JOB_STATES,
+    TERMINAL_STATES,
+    CompiledJob,
+    JobError,
+    compile_job,
+)
+from repro.serve.pool import UnitOutcome, WorkerFaultPlan, WorkerPool, WorkItem
+
+#: Largest request body the server will read (a job document is tiny).
+MAX_BODY_BYTES = 1 << 20
+
+#: Client identity used when neither header nor body names one.
+ANONYMOUS = "anonymous"
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``repro serve`` is configured by (CLI flags mirror this)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is JobServer.port
+    workers: int = 4
+    quota: int = 8  # active (queued/running) jobs per client
+    queue_limit: int = 512  # global queued+in-flight unit ceiling
+    timeout: float | None = None  # per-unit wall-clock budget (seconds)
+    retries: int = 1
+    cache: bool = True
+    cache_dir: str | None = None  # None = $REPRO_CACHE_DIR / default
+    faults: WorkerFaultPlan | None = None  # serve-layer fault injection
+
+
+class Job:
+    """One submitted job: units, lifecycle state, counters, event log."""
+
+    def __init__(self, job_id: str, client: str, compiled: CompiledJob) -> None:
+        self.id = job_id
+        self.client = client
+        self.kind = compiled.kind
+        self.spec = compiled.spec
+        self.description = compiled.description
+        self.units = compiled.units
+        self.finalize = compiled.finalize
+        self.state = "queued"
+        self.created = time.time()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self.outcomes: list[UnitOutcome | None] = [None] * len(self.units)
+        self.done_units = 0
+        self.failed_units = 0
+        self.skipped_units = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.simulated = 0
+        self.retries = 0
+        self.cancel_requested = False
+        self.error: str | None = None
+        self.result: dict | None = None
+        self.events: list[dict] = []
+        self._event_signal = asyncio.Event()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job reached done/failed/cancelled."""
+        return self.state in TERMINAL_STATES
+
+    @property
+    def active(self) -> bool:
+        """True while the job holds quota (anything non-terminal)."""
+        return not self.terminal
+
+    @property
+    def settled_units(self) -> int:
+        """Units that finished, failed, or were skipped."""
+        return self.done_units + self.failed_units + self.skipped_units
+
+    def emit(self, event: dict) -> None:
+        """Append one progress event and wake every streamer."""
+        event.setdefault("job", self.id)
+        event["seq"] = len(self.events)
+        event["ts"] = round(time.time(), 6)
+        self.events.append(event)
+        self._event_signal.set()
+
+    async def next_events(self, cursor: int) -> int:
+        """Block until there are events past *cursor*; return the new length."""
+        while cursor >= len(self.events):
+            if self.terminal:
+                break
+            self._event_signal.clear()
+            if cursor < len(self.events):
+                break
+            await self._event_signal.wait()
+        return len(self.events)
+
+    # -- JSON views ----------------------------------------------------------
+
+    def summary(self) -> dict:
+        """The list-endpoint view: identity, state, progress, counters."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "client": self.client,
+            "state": self.state,
+            "description": self.description,
+            "units": len(self.units),
+            "done_units": self.done_units,
+            "failed_units": self.failed_units,
+            "skipped_units": self.skipped_units,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "simulated": self.simulated,
+            "retries": self.retries,
+            "created": round(self.created, 6),
+            "started": round(self.started, 6) if self.started else None,
+            "finished": round(self.finished, 6) if self.finished else None,
+            "error": self.error,
+        }
+
+    def detail(self) -> dict:
+        """The per-job view: summary + spec + result document when done."""
+        doc = self.summary()
+        doc["spec"] = self.spec
+        doc["events"] = len(self.events)
+        if self.result is not None:
+            doc["result"] = self.result
+        return doc
+
+
+class JobServer:
+    """The asyncio job server: job table + worker pool + HTTP front end."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        cache = (
+            ResultCache(self.config.cache_dir) if self.config.cache else None
+        )
+        self.pool = WorkerPool(
+            workers=self.config.workers,
+            cache=cache,
+            timeout=self.config.timeout,
+            retries=self.config.retries,
+            faults=self.config.faults,
+        )
+        self.jobs: dict[str, Job] = {}
+        self.metrics = Metrics()
+        self.started_at = time.time()
+        self.port: int | None = None
+        self._seq = itertools.count(1)
+        self._draining = False
+        self._server: asyncio.base_events.Server | None = None
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and spawn the worker pool."""
+        await self.pool.start()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` completes."""
+        assert self._server is not None, "call start() first"
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, cancel queued."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.pool.stop()
+        # Any job not yet terminal had pending units dropped by pool.stop()
+        # (reason "shutdown"); _unit_done settled them into "cancelled".
+        self._stopped.set()
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound listener."""
+        return f"http://{self.config.host}:{self.port}"
+
+    # -- job orchestration ---------------------------------------------------
+
+    def _submit(self, payload: Any, client: str) -> Job:
+        """Validate, admit, register, and enqueue one job."""
+        if self._draining:
+            raise JobError("server is draining", status=503)
+        compiled = compile_job(payload)
+        active = sum(
+            1 for j in self.jobs.values()
+            if j.client == client and j.active
+        )
+        if active >= self.config.quota:
+            self.metrics.inc("serve.jobs.rejected")
+            raise JobError(
+                f"client {client!r} has {active} active job(s) "
+                f"(quota {self.config.quota})",
+                status=429,
+            )
+        if self.pool.load() + len(compiled.units) > self.config.queue_limit:
+            self.metrics.inc("serve.jobs.rejected")
+            raise JobError(
+                f"queue full: {self.pool.load()} unit(s) pending, "
+                f"job needs {len(compiled.units)} "
+                f"(limit {self.config.queue_limit})",
+                status=429,
+            )
+        job = Job(f"j{next(self._seq):05d}", client, compiled)
+        self.jobs[job.id] = job
+        self.metrics.inc("serve.jobs.submitted")
+        job.emit({"event": "state", "state": "queued",
+                  "kind": job.kind, "units": len(job.units)})
+        for idx, unit in enumerate(job.units):
+            self.pool.put(
+                WorkItem(
+                    unit,
+                    should_run=lambda j=job: self._runnable(j),
+                    on_start=lambda j=job: self._unit_started(j),
+                    on_done=lambda outcome, j=job, i=idx: self._unit_done(
+                        j, i, outcome
+                    ),
+                )
+            )
+        return job
+
+    def _runnable(self, job: Job) -> bool:
+        return not (
+            job.cancel_requested or job.failed_units or self._draining
+        )
+
+    def _unit_started(self, job: Job) -> None:
+        if job.state == "queued":
+            job.state = "running"
+            job.started = time.time()
+            job.emit({"event": "state", "state": "running"})
+
+    def _unit_done(self, job: Job, idx: int, outcome: UnitOutcome) -> None:
+        job.outcomes[idx] = outcome
+        label = job.units[idx].label
+        if outcome.skipped:
+            job.skipped_units += 1
+            job.emit({"event": "unit", "unit": idx, "label": label,
+                      "skipped": True, "reason": outcome.reason,
+                      "done": job.settled_units, "total": len(job.units)})
+        elif outcome.error is not None:
+            job.failed_units += 1
+            self.metrics.inc("serve.units.failed")
+            job.emit({"event": "unit", "unit": idx, "label": label,
+                      "error": outcome.error, "attempts": outcome.attempts,
+                      "done": job.settled_units, "total": len(job.units)})
+        else:
+            job.done_units += 1
+            job.cache_hits += outcome.cache_hits
+            job.cache_misses += outcome.cache_misses
+            job.simulated += outcome.simulated
+            job.retries += outcome.attempts - 1
+            self.metrics.inc("serve.units.done")
+            self.metrics.inc("serve.units.cache_hits", outcome.cache_hits)
+            self.metrics.inc("serve.units.cache_misses", outcome.cache_misses)
+            self.metrics.observe(
+                "serve.lat.unit_ms", int(outcome.seconds * 1000)
+            )
+            job.emit({
+                "event": "unit", "unit": idx, "label": label,
+                "cache": "hit" if outcome.cache_hits else "miss",
+                "seconds": round(outcome.seconds, 6),
+                "attempts": outcome.attempts,
+                "done": job.settled_units, "total": len(job.units),
+            })
+        if job.settled_units == len(job.units) and not job.terminal:
+            asyncio.get_running_loop().create_task(self._complete(job))
+
+    async def _complete(self, job: Job) -> None:
+        """Settle a job whose units have all drained."""
+        if job.failed_units:
+            job.state = "failed"
+            bad = [
+                f"{job.units[i].label}: {o.error}"
+                for i, o in enumerate(job.outcomes)
+                if o is not None and o.error is not None
+            ]
+            job.error = "; ".join(bad)
+            self.metrics.inc("serve.jobs.failed")
+        elif job.skipped_units:
+            job.state = "cancelled"
+            reasons = {
+                o.reason for o in job.outcomes
+                if o is not None and o.skipped
+            }
+            job.error = f"cancelled ({', '.join(sorted(r or '?' for r in reasons))})"
+            self.metrics.inc("serve.jobs.cancelled")
+        else:
+            try:
+                job.result = await self.pool.run_in_thread(
+                    job.finalize, [o.result for o in job.outcomes]
+                )
+                job.state = "done"
+                self.metrics.inc("serve.jobs.done")
+            except Exception as exc:  # noqa: BLE001 - surfaced to the client
+                job.state = "failed"
+                job.error = f"finalize: {type(exc).__name__}: {exc}"
+                self.metrics.inc("serve.jobs.failed")
+        job.finished = time.time()
+        self.metrics.observe(
+            "serve.lat.job_ms", int((job.finished - job.created) * 1000)
+        )
+        job.emit({
+            "event": "state", "state": job.state,
+            "seconds": round(job.finished - job.created, 6),
+            "cache_hits": job.cache_hits,
+            "cache_misses": job.cache_misses,
+            "simulated": job.simulated,
+            "error": job.error,
+        })
+
+    def _cancel(self, job: Job) -> dict:
+        """Request cancellation; pending units skip, in-flight ones drain."""
+        if job.terminal:
+            return {"ok": False, "state": job.state,
+                    "error": "job already settled"}
+        if not job.cancel_requested:
+            job.cancel_requested = True
+            job.state = "cancelling"
+            job.emit({"event": "state", "state": "cancelling"})
+            if job.settled_units == len(job.units):
+                # Nothing queued or in flight (e.g. cancel raced the last
+                # unit): settle immediately.
+                asyncio.get_running_loop().create_task(self._complete(job))
+        return {"ok": True, "state": job.state}
+
+    # -- HTTP front end ------------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                await self._route(request, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader) -> dict | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            if length > MAX_BODY_BYTES:
+                return {"method": method, "target": target,
+                        "headers": headers, "body": None, "too_large": True}
+            body = await reader.readexactly(length)
+        return {"method": method, "target": target,
+                "headers": headers, "body": body, "too_large": False}
+
+    @staticmethod
+    def _head(status: int, extra: str = "") -> bytes:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 409: "Conflict",
+                  413: "Payload Too Large", 429: "Too Many Requests",
+                  503: "Service Unavailable"}.get(status, "OK")
+        return (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Server: repro-serve\r\n"
+            "Connection: close\r\n"
+            f"{extra}"
+        ).encode("latin-1")
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        writer.write(
+            self._head(
+                status,
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n",
+            )
+            + body
+        )
+        await writer.drain()
+
+    async def _route(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> None:
+        if request["too_large"]:
+            await self._send_json(writer, 413, {"error": "body too large"})
+            return
+        method = request["method"]
+        url = urlsplit(request["target"])
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+
+        if method == "GET" and url.path in ("/", "/healthz"):
+            await self._send_json(writer, 200, {
+                "ok": True,
+                "service": "repro-serve",
+                "schema": JOB_SCHEMA,
+                "draining": self._draining,
+                "uptime_s": round(time.time() - self.started_at, 3),
+            })
+            return
+        if parts[:1] != ["v1"]:
+            await self._send_json(writer, 404, {"error": "not found"})
+            return
+        rest = parts[1:]
+
+        if method == "GET" and rest == ["schema"]:
+            await self._send_json(writer, 200, {
+                "schema": JOB_SCHEMA,
+                "kinds": list(JOB_KINDS),
+                "states": list(JOB_STATES),
+                "quota": self.config.quota,
+                "queue_limit": self.config.queue_limit,
+            })
+        elif method == "GET" and rest == ["metrics"]:
+            states: dict[str, int] = {}
+            for job in self.jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            await self._send_json(writer, 200, {
+                "queue_depth": self.pool.depth(),
+                "in_flight": self.pool.in_flight,
+                "workers": self.pool.workers,
+                "jobs": states,
+                "units_run": self.pool.units_run,
+                "retries_used": self.pool.retries_used,
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "metrics": self.metrics.snapshot(),
+            })
+        elif rest == ["jobs"]:
+            await self._route_jobs(method, request, query, writer)
+        elif len(rest) >= 2 and rest[0] == "jobs":
+            await self._route_job(method, rest[1], rest[2:], writer)
+        elif method == "POST" and rest == ["shutdown"]:
+            await self._send_json(writer, 200, {
+                "ok": True, "draining": True,
+                "in_flight": self.pool.in_flight,
+                "dropped": self.pool.depth(),
+            })
+            asyncio.get_running_loop().create_task(self.shutdown())
+        else:
+            await self._send_json(writer, 404, {"error": "not found"})
+
+    async def _route_jobs(
+        self, method: str, request: dict, query: dict,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if method == "GET":
+            jobs = [
+                j.summary() for j in self.jobs.values()
+                if "client" not in query or j.client == query["client"]
+            ]
+            jobs.sort(key=lambda d: d["id"], reverse=True)
+            await self._send_json(writer, 200, {"jobs": jobs})
+            return
+        if method != "POST":
+            await self._send_json(writer, 405, {"error": "POST or GET"})
+            return
+        try:
+            payload = json.loads(request["body"] or b"{}")
+        except ValueError:
+            await self._send_json(writer, 400, {"error": "bad JSON body"})
+            return
+        client = request["headers"].get("x-repro-client") or (
+            payload.get("client") if isinstance(payload, dict) else None
+        ) or ANONYMOUS
+        try:
+            job = self._submit(payload, str(client))
+        except JobError as exc:
+            await self._send_json(
+                writer, exc.status, {"error": str(exc)}
+            )
+            return
+        await self._send_json(writer, 200, {
+            "ok": True,
+            "id": job.id,
+            "state": job.state,
+            "units": len(job.units),
+            "links": {
+                "status": f"/v1/jobs/{job.id}",
+                "events": f"/v1/jobs/{job.id}/events",
+                "cancel": f"/v1/jobs/{job.id}/cancel",
+            },
+        })
+
+    async def _route_job(
+        self, method: str, job_id: str, tail: list[str],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            await self._send_json(
+                writer, 404, {"error": f"no such job {job_id!r}"}
+            )
+            return
+        if not tail and method == "GET":
+            await self._send_json(writer, 200, job.detail())
+        elif tail == ["cancel"] and method == "POST":
+            ack = self._cancel(job)
+            await self._send_json(writer, 200 if ack["ok"] else 409, ack)
+        elif tail == ["events"] and method == "GET":
+            await self._stream_events(job, writer)
+        else:
+            await self._send_json(writer, 404, {"error": "not found"})
+
+    async def _stream_events(
+        self, job: Job, writer: asyncio.StreamWriter
+    ) -> None:
+        """Chunked JSONL: replay the event log, then tail until terminal."""
+        writer.write(self._head(
+            200,
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n\r\n",
+        ))
+        await writer.drain()
+        cursor = 0
+        while True:
+            limit = await job.next_events(cursor)
+            while cursor < limit:
+                data = (
+                    json.dumps(job.events[cursor], sort_keys=True) + "\n"
+                ).encode()
+                writer.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+                cursor += 1
+            await writer.drain()
+            if job.terminal and cursor >= len(job.events):
+                break
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+
+async def _serve(config: ServerConfig) -> int:
+    """Start a server and run it until SIGINT/SIGTERM (the CLI body)."""
+    import signal
+    import sys
+
+    server = JobServer(config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(
+                sig, lambda: loop.create_task(server.shutdown())
+            )
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-POSIX event loop; Ctrl-C still raises KeyboardInterrupt
+    print(
+        f"repro serve: listening on {server.url} "
+        f"(workers={config.workers}, quota={config.quota}, "
+        f"queue_limit={config.queue_limit}, "
+        f"cache={'on' if config.cache else 'off'})",
+        file=sys.stderr,
+    )
+    await server.serve_forever()
+    print("repro serve: drained, bye", file=sys.stderr)
+    return 0
+
+
+def run(config: ServerConfig | None = None) -> int:
+    """Blocking entry point used by ``repro serve``."""
+    try:
+        return asyncio.run(_serve(config or ServerConfig()))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0

@@ -1,0 +1,170 @@
+"""Worker pool: execution, cache accounting, retry under injected faults."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.config import intra_config
+from repro.eval.cache import ResultCache
+from repro.eval.parallel import SweepCell, SweepExecutor
+from repro.serve.jobs import Unit
+from repro.serve.pool import (
+    UnitOutcome,
+    WorkerFaultPlan,
+    WorkerPool,
+    WorkItem,
+)
+
+
+def fft_unit() -> Unit:
+    return Unit(
+        "intra:fft/Base",
+        cell=SweepCell.make(
+            "intra", "fft", intra_config("Base"), scale=0.25, num_threads=4
+        ),
+    )
+
+
+def run_units(pool: WorkerPool, units, should_run=lambda: True):
+    """Drive *units* through *pool* on a fresh event loop; return outcomes."""
+
+    async def body():
+        outcomes: dict[int, UnitOutcome] = {}
+        done = asyncio.Event()
+
+        def on_done(i, outcome):
+            outcomes[i] = outcome
+            if len(outcomes) == len(units):
+                done.set()
+
+        await pool.start()
+        for i, unit in enumerate(units):
+            pool.put(WorkItem(
+                unit, should_run=should_run, on_start=lambda: None,
+                on_done=lambda o, i=i: on_done(i, o),
+            ))
+        await asyncio.wait_for(done.wait(), 60)
+        await pool.stop()
+        return [outcomes[i] for i in range(len(units))]
+
+    return asyncio.run(body())
+
+
+class TestPlanValidation:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigError, match="rate"):
+            WorkerFaultPlan(rate=1.5)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            WorkerFaultPlan(rate=0.1, kind="gremlin")
+
+    def test_rejects_bad_pool_shape(self):
+        with pytest.raises(ConfigError, match="workers"):
+            WorkerPool(workers=0)
+        with pytest.raises(ConfigError, match="retries"):
+            WorkerPool(retries=-1)
+
+
+class TestExecution:
+    def test_cell_unit_matches_direct_executor(self, tmp_path):
+        unit = fft_unit()
+        direct = SweepExecutor(jobs=1).run_cells([unit.cell])[0]
+        pool = WorkerPool(workers=2, cache=ResultCache(tmp_path / "c"))
+        [outcome] = run_units(pool, [unit])
+        assert outcome.ok and outcome.attempts == 1
+        assert outcome.result.to_dict() == direct.to_dict()
+        assert (outcome.cache_hits, outcome.cache_misses) == (0, 1)
+
+    def test_second_run_is_a_cache_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        first = run_units(WorkerPool(workers=1, cache=cache), [fft_unit()])
+        second = run_units(WorkerPool(workers=1, cache=cache), [fft_unit()])
+        assert first[0].cache_misses == 1 and first[0].cache_hits == 0
+        assert second[0].cache_hits == 1 and second[0].cache_misses == 0
+        assert second[0].result.to_dict() == first[0].result.to_dict()
+
+    def test_fn_unit(self):
+        unit = Unit("fn", fn=lambda: {"clean": True})
+        [outcome] = run_units(WorkerPool(workers=1), [unit])
+        assert outcome.ok and outcome.result == {"clean": True}
+
+    def test_should_run_false_skips(self):
+        pool = WorkerPool(workers=1)
+        [outcome] = run_units(pool, [fft_unit()], should_run=lambda: False)
+        assert outcome.skipped and outcome.reason == "cancelled"
+        assert pool.units_run == 0  # skipped units never hit a thread
+
+    def test_failing_fn_reports_error_after_retries(self):
+        def boom():
+            raise RuntimeError("kaput")
+
+        pool = WorkerPool(workers=1, retries=2)
+        [outcome] = run_units(pool, [Unit("boom", fn=boom)])
+        assert not outcome.ok
+        assert outcome.attempts == 3
+        assert "kaput" in outcome.error
+        assert pool.retries_used == 2
+
+
+class TestFaultInjection:
+    def test_crash_faults_are_retried_to_the_same_result(self, tmp_path):
+        """A flaky pool (50% crash rate) still serves bit-identical results."""
+        direct = SweepExecutor(jobs=1).run_cells([fft_unit().cell])[0]
+        pool = WorkerPool(
+            workers=2,
+            cache=ResultCache(tmp_path / "c"),
+            retries=10,
+            faults=WorkerFaultPlan(rate=0.5, seed=7, kind="crash"),
+        )
+        outcomes = run_units(pool, [fft_unit() for _ in range(8)])
+        assert all(o.ok for o in outcomes)
+        assert all(
+            o.result.to_dict() == direct.to_dict() for o in outcomes
+        )
+        assert pool.retries_used > 0  # the seed really fired at 50%
+
+    def test_fault_stream_is_deterministic(self):
+        plan = WorkerFaultPlan(rate=0.5, seed=123, kind="crash")
+
+        def draws(pool):
+            return [pool._draw_fault() for _ in range(32)]
+
+        a = draws(WorkerPool(workers=1, faults=plan))
+        b = draws(WorkerPool(workers=1, faults=plan))
+        assert a == b
+        assert "crash" in a  # rate 0.5 over 32 draws fires
+
+    def test_stall_fault_trips_timeout(self):
+        pool = WorkerPool(
+            workers=1,
+            timeout=0.05,
+            retries=0,
+            faults=WorkerFaultPlan(rate=1.0, seed=1, kind="stall",
+                                   stall_s=0.5),
+        )
+        [outcome] = run_units(pool, [Unit("fn", fn=lambda: {"ok": True})])
+        assert not outcome.ok
+        assert "TimeoutError" in outcome.error
+
+
+class TestShutdown:
+    def test_stop_drops_queued_units_as_skipped(self):
+        async def body():
+            pool = WorkerPool(workers=1)
+            outcomes = []
+            # never started: stop() before start() drops everything queued
+            for _ in range(3):
+                pool.put(WorkItem(
+                    Unit("fn", fn=lambda: {}), should_run=lambda: True,
+                    on_start=lambda: None, on_done=outcomes.append,
+                ))
+            dropped = await pool.stop()
+            return dropped, outcomes
+
+        dropped, outcomes = asyncio.run(body())
+        assert dropped == 3
+        assert all(o.skipped and o.reason == "shutdown" for o in outcomes)

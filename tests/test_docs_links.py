@@ -1,0 +1,59 @@
+"""Every relative markdown link in README/docs must resolve.
+
+The CI ``docs-links`` step runs this module; it walks the tracked
+markdown files, extracts ``[text](target)`` links, and asserts each
+non-URL target exists relative to the linking file (anchors are checked
+for file existence only).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+DOCS = sorted(
+    [REPO / "README.md", REPO / "EXPERIMENTS.md", REPO / "DESIGN.md",
+     REPO / "CHANGES.md", REPO / "ROADMAP.md"]
+    + list((REPO / "docs").glob("*.md"))
+)
+
+#: ``[label](target)`` — good enough for our hand-written markdown
+#: (no images with titles, no reference-style links in these files).
+LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def relative_links(path: pathlib.Path) -> list[str]:
+    links = []
+    for target in LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        links.append(target)
+    return links
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: str(p.relative_to(REPO)))
+def test_relative_links_resolve(doc):
+    assert doc.exists(), f"indexed doc {doc} is missing"
+    broken = []
+    for target in relative_links(doc):
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        if not (doc.parent / file_part).exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken relative link(s): {broken}"
+
+
+def test_docs_index_lists_every_doc():
+    """docs/README.md must index every markdown file living in docs/."""
+    index = (REPO / "docs" / "README.md").read_text()
+    for path in (REPO / "docs").glob("*.md"):
+        if path.name == "README.md":
+            continue
+        assert f"({path.name})" in index, (
+            f"docs/README.md does not link {path.name}"
+        )

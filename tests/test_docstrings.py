@@ -1,6 +1,6 @@
 """Docstring coverage floor for the documentation-gated packages.
 
-CI runs ``ruff check --select D src/repro/{analysis,obs,eval}`` on the
+CI runs ``ruff check --select D src/repro/{analysis,obs,eval,serve}`` on the
 runner; ruff is not available in every development container, so this
 test mirrors the missing-docstring (D1xx) half of that gate with the
 stdlib AST: every public module, class, function, and method in the
@@ -15,7 +15,7 @@ import pathlib
 import pytest
 
 SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
-GATED = ("analysis", "obs", "eval")
+GATED = ("analysis", "obs", "eval", "serve")
 
 
 def _missing_in(path: pathlib.Path) -> list[str]:
