@@ -18,7 +18,10 @@ Usage (also via ``python -m repro``)::
     repro bench fig9 --engine fast --repeat 3      # timed sweep -> BENCH json
     repro bench fig9 --profile              # cProfile the sweep (top 25)
     repro serve --port 8787 --workers 8     # HTTP/JSON job server (SERVICE.md)
+    repro serve --journal j/ --resume       # durable: WAL + crash recovery
     repro serve --bench --jobs-count 120    # load-gen -> BENCH_serve.json
+    repro serve --bench --chaos-kill        # SIGKILL/corrupt/resume drill
+    repro cache stats | verify | gc         # result-cache integrity tooling
 
 Engine selection: ``--engine {ref,fast}`` (or ``$REPRO_ENGINE``) picks the
 simulator core — ``ref`` is the dict-based reference, ``fast`` the
@@ -690,6 +693,35 @@ def _cmd_serve(args) -> int:
     from repro.serve import ServerConfig, WorkerFaultPlan, bench_serve
     from repro.serve import server as serve_server
 
+    if args.bench and args.chaos_kill:
+        from repro.serve.drill import chaos_drill
+
+        doc = chaos_drill(
+            jobs=args.jobs_count,
+            kills=args.kills,
+            corrupt=args.corrupt,
+            concurrency=args.concurrency,
+            workers=args.workers,
+            scale=args.scale,
+            seed=DEFAULT_SEED if args.fault_seed is None else args.fault_seed,
+            out=args.out or "BENCH_chaos_drill.json",
+            work_dir=args.work_dir,
+        )
+        print(f"chaos drill: {doc['completed']}/{doc['jobs']} jobs done "
+              f"across {doc['kills']} SIGKILL/restart cycle(s) "
+              f"({doc['incarnations']} incarnations, {doc['seconds']}s)")
+        print(f"  corruption: {doc['corrupted_files']} file(s) corrupted -> "
+              f"{doc['corrupt_healed']} healed, "
+              f"{doc['corrupt_quarantined']} quarantined, "
+              f"{doc['corrupt_undetected']} undetected")
+        print(f"  recovery: {doc['recovered_jobs_observed']} job(s) "
+              f"recovered, {doc['deduped_jobs_observed']} deduped, "
+              f"{doc['retries']} client retries, "
+              f"{doc['resubmissions']} resubmissions")
+        print(f"  divergences {doc['divergences']}  "
+              f"failures {doc['failures']}  "
+              f"-> {'OK' if doc['ok'] else 'FAILED'}")
+        return 0 if doc["ok"] else 1
     if args.bench:
         doc = bench_serve(
             jobs=args.jobs_count,
@@ -727,9 +759,50 @@ def _cmd_serve(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         cache=not args.no_cache,
+        cache_dir=args.cache_dir,
         faults=faults,
+        journal_dir=args.journal,
+        resume=args.resume,
     )
     return serve_server.run(config)
+
+
+def _cmd_cache(args) -> int:
+    """Inspect, verify, or garbage-collect the persistent result cache."""
+    import json as _json
+
+    from repro.eval.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        doc = cache.stats()
+    elif args.action == "verify":
+        doc = cache.verify(repair=not args.no_repair)
+    else:
+        doc = cache.gc()
+    if args.json:
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    elif args.action == "stats":
+        print(f"cache {doc['root']}: {doc['entries']} entries, "
+              f"{doc['bytes']} bytes (schema {doc['schema']}, "
+              f"version {doc['version']})")
+        for tag in sorted(doc["by_schema"]):
+            print(f"  schema {tag}: {doc['by_schema'][tag]} entries")
+        print(f"  quarantined files: {doc['quarantined_files']}")
+    elif args.action == "verify":
+        print(f"verified {doc['checked']} entries: {doc['ok']} ok, "
+              f"{doc['stale']} stale, {doc['corrupt']} corrupt "
+              f"({doc['repaired']} quarantined)")
+        for path in doc["corrupt_paths"]:
+            print(f"  corrupt: {path}")
+    else:
+        print(f"gc: removed {doc['stale_removed']} stale entries, "
+              f"{doc['quarantine_removed']} quarantined files "
+              f"({doc['corrupt_quarantined']} newly quarantined); "
+              f"kept {doc['kept']}")
+    if args.action == "verify":
+        return 1 if doc["corrupt"] else 0
+    return 0
 
 
 def _cmd_table1(_args) -> int:
@@ -1113,6 +1186,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-unit retry budget (default: 1)")
     p_srv.add_argument("--no-cache", action="store_true",
                        help="serve without the persistent result cache")
+    p_srv.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-cache directory (default: "
+                       "$REPRO_CACHE_DIR or ~/.cache/repro-sweeps)")
+    p_srv.add_argument("--journal", default=None, metavar="DIR",
+                       help="write-ahead journal directory: every job "
+                       "lifecycle transition is fsync'd there before the "
+                       "client sees the response (docs/RESILIENCE.md)")
+    p_srv.add_argument("--resume", action="store_true",
+                       help="replay the journal at startup: requeue "
+                       "interrupted jobs under their original ids and "
+                       "dedupe idempotent resubmissions")
     p_srv.add_argument("--fault-rate", type=float, default=0.0,
                        metavar="P",
                        help="inject seeded worker faults with per-attempt "
@@ -1134,7 +1218,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--out", metavar="PATH", default=None,
                        help="bench: JSON output path "
                        "(default: BENCH_serve.json at repo root)")
+    p_srv.add_argument("--chaos-kill", action="store_true",
+                       help="with --bench: run the durability chaos drill "
+                       "instead — SIGKILL a real server subprocess "
+                       "mid-flight, corrupt random cache files, resume "
+                       "from the journal, and prove zero loss / zero "
+                       "divergence (-> BENCH_chaos_drill.json)")
+    p_srv.add_argument("--kills", type=int, default=3,
+                       help="chaos drill: SIGKILL/restart cycles "
+                       "(default: 3)")
+    p_srv.add_argument("--corrupt", type=int, default=6, metavar="N",
+                       help="chaos drill: cache files corrupted per cycle "
+                       "(default: 6)")
+    p_srv.add_argument("--work-dir", default=None, metavar="DIR",
+                       help="chaos drill: pin the scratch dir (journal, "
+                       "caches, server log) instead of a temp dir — CI "
+                       "uploads the journal from here")
     p_srv.set_defaults(fn=_cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect / verify / garbage-collect the persistent "
+        "result cache",
+        description=(
+            "Integrity tooling for the content-addressed sweep-result "
+            "cache.  Every entry embeds a sha256 payload checksum "
+            "(verified on load; corrupt entries are quarantined and "
+            "recomputed, never served).  `stats` summarises the store, "
+            "`verify` checks every entry (exit 1 if any is corrupt), "
+            "`gc` reclaims stale-schema entries and the quarantine "
+            "directory.  Details: docs/RESILIENCE.md."
+        ),
+    )
+    p_cache.add_argument("action", choices=("stats", "verify", "gc"),
+                         help="what to do")
+    p_cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache directory (default: $REPRO_CACHE_DIR "
+                         "or ~/.cache/repro-sweeps)")
+    p_cache.add_argument("--no-repair", action="store_true",
+                         help="verify: report corrupt entries without "
+                         "quarantining them")
+    p_cache.add_argument("--json", action="store_true",
+                         help="emit the raw JSON report")
+    p_cache.set_defaults(fn=_cmd_cache)
 
     p_t3 = sub.add_parser("table3", help="print the architecture table")
     p_t3.add_argument("--machine", choices=("intra", "inter"), default="inter")

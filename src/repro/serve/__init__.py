@@ -7,7 +7,10 @@ runs those units on a bounded worker pool fronted by the shared result
 cache, :mod:`repro.serve.server` is the asyncio HTTP/JSON front end
 (lifecycle, streaming, quotas, graceful drain), and
 :mod:`repro.serve.loadgen` is the benchmark client behind
-``repro serve --bench``.  API reference: ``docs/SERVICE.md``.
+``repro serve --bench``.  :mod:`repro.serve.journal` adds durability —
+a fsync'd write-ahead journal so ``--resume`` recovers interrupted jobs
+after a crash.  API reference: ``docs/SERVICE.md``; durability story:
+``docs/RESILIENCE.md``.
 """
 
 from repro.serve.jobs import (
@@ -20,6 +23,13 @@ from repro.serve.jobs import (
     JobError,
     Unit,
     compile_job,
+)
+from repro.serve.journal import (
+    JOURNAL_SCHEMA,
+    Journal,
+    JournalState,
+    RecoveredJob,
+    job_digest,
 )
 from repro.serve.loadgen import LocalServer, bench_serve
 from repro.serve.pool import (
@@ -37,11 +47,15 @@ __all__ = [
     "JOB_STATES",
     "MAX_UNITS",
     "TERMINAL_STATES",
+    "JOURNAL_SCHEMA",
     "CompiledJob",
     "Job",
     "JobError",
     "JobServer",
+    "Journal",
+    "JournalState",
     "LocalServer",
+    "RecoveredJob",
     "ServerConfig",
     "Unit",
     "UnitOutcome",
@@ -51,5 +65,6 @@ __all__ = [
     "WorkerPool",
     "bench_serve",
     "compile_job",
+    "job_digest",
     "run",
 ]

@@ -1,0 +1,270 @@
+"""Write-ahead journal for the job server (``repro serve --journal``).
+
+The server keeps all job state in memory; a ``kill -9`` would silently
+lose every queued and running job.  This module makes job *intake*
+durable: an append-only JSONL journal, fsync'd per record, that logs
+every lifecycle transition **before** the client sees the matching HTTP
+response.  On restart with ``--resume`` the journal is replayed and any
+job that was submitted but never finalized is requeued under its
+original id — clients that were polling keep polling and never notice
+the crash.  Completed work is not lost either: unit results live in the
+content-addressed :class:`repro.eval.cache.ResultCache`, so replayed
+units re-resolve as cache hits instead of re-simulating.
+
+Record grammar (one JSON object per line, ``rec`` discriminates)::
+
+    {"rec": "open",      "schema": 1, "ts": ...}            # server boot
+    {"rec": "submitted", "id": "j00001", "digest": "...",
+     "client": "...", "payload": {...}, "units": N, "ts": ...}
+    {"rec": "unit",      "id": "j00001", "unit": 3, "ts": ...}
+    {"rec": "cancel",    "id": "j00001", "ts": ...}
+    {"rec": "finalized", "id": "j00001", "state": "done",
+     "error": null, "ts": ...}
+
+Replay is crash-tolerant: a torn trailing line (the append the crash
+interrupted) is skipped and counted, as is any line that fails to parse.
+Because appends are fsync'd *before* the 200 reply, an acknowledged
+submission is always recoverable; an unacknowledged one may or may not
+be — either way the client's retry is deduped by :func:`job_digest`.
+
+On resume the journal is *compacted*: a fresh file containing only the
+still-open jobs' ``submitted`` records replaces the old one atomically
+(tmp + ``os.replace``), so the journal stays bounded across any number
+of crash/restart cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any
+
+#: Journal record-format version, stamped into every ``open`` record.
+JOURNAL_SCHEMA = 1
+
+#: File name of the journal inside ``--journal DIR``.
+JOURNAL_NAME = "serve.journal.jsonl"
+
+#: Stale journals are rotated aside under this suffix when a server
+#: starts *without* ``--resume`` (never silently deleted).
+STALE_SUFFIX = ".stale"
+
+
+def job_digest(kind: str, spec: dict, client: str) -> str:
+    """Canonical digest identifying one job submission.
+
+    Two submissions with the same kind, spec, and client are the same
+    job: resubmitting (e.g. a client retrying after a connection reset)
+    is idempotent and maps onto the already-admitted job instead of
+    double-running it.  The digest is a sha256 over canonical JSON, the
+    same discipline as :func:`repro.eval.cache.cell_key`.
+    """
+    blob = json.dumps(
+        {"kind": kind, "spec": spec, "client": client},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class RecoveredJob:
+    """One non-finalized job reconstructed from the journal."""
+
+    id: str
+    digest: str
+    client: str
+    payload: Any
+    units: int
+    units_done: set[int] = field(default_factory=set)
+    cancel_requested: bool = False
+
+
+@dataclass
+class JournalState:
+    """Everything :func:`Journal.replay` learns from the journal file."""
+
+    open_jobs: dict[str, RecoveredJob] = field(default_factory=dict)
+    finalized: dict[str, str] = field(default_factory=dict)  # id -> state
+    max_seq: int = 0  # highest numeric job-id suffix ever issued
+    records: int = 0  # well-formed records seen
+    skipped: int = 0  # torn/corrupt lines tolerated
+    incarnations: int = 0  # "open" records = server boots journaled
+
+    def counters(self) -> dict:
+        """Flat summary for logs and the ``/v1/metrics`` endpoint."""
+        return {
+            "open_jobs": len(self.open_jobs),
+            "finalized_jobs": len(self.finalized),
+            "records": self.records,
+            "skipped_lines": self.skipped,
+            "incarnations": self.incarnations,
+            "max_seq": self.max_seq,
+        }
+
+
+class Journal:
+    """Append-only, fsync'd JSONL write-ahead journal.
+
+    Single-writer by construction: the server owns the file for its
+    lifetime and appends from the event loop.  Each :meth:`append` is
+    flushed and ``fsync``'d before returning, so a record the caller has
+    seen succeed survives ``kill -9`` and (modulo disk lies) power loss.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.dir = Path(directory)
+        self.path = self.dir / JOURNAL_NAME
+        self._fh: IO[str] | None = None
+        self.appended = 0
+
+    # -- writing ---------------------------------------------------------
+
+    def open(self) -> None:
+        """Create the directory, open for append, journal an ``open``."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self.append({"rec": "open", "schema": JOURNAL_SCHEMA})
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        assert self._fh is not None, "journal not open"
+        record.setdefault("ts", round(time.time(), 6))
+        self._fh.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.appended += 1
+
+    def close(self) -> None:
+        """Close the journal file (safe to call twice)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- recovery ----------------------------------------------------------
+
+    def replay(self) -> JournalState:
+        """Fold the journal into a :class:`JournalState`.
+
+        Tolerates a torn trailing line (crash mid-append) and skips any
+        unparseable or unrecognized line, counting them in ``skipped``
+        rather than refusing to recover.
+        """
+        state = JournalState()
+        if not self.path.exists():
+            return state
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                    kind = rec["rec"]
+                except (ValueError, KeyError, TypeError):
+                    state.skipped += 1
+                    continue
+                state.records += 1
+                if kind == "open":
+                    state.incarnations += 1
+                elif kind == "submitted":
+                    jid = rec["id"]
+                    state.open_jobs[jid] = RecoveredJob(
+                        id=jid,
+                        digest=rec.get("digest", ""),
+                        client=rec.get("client", "anonymous"),
+                        payload=rec.get("payload"),
+                        units=int(rec.get("units", 0)),
+                    )
+                    state.max_seq = max(state.max_seq, _seq_of(jid))
+                elif kind == "unit":
+                    job = state.open_jobs.get(rec.get("id", ""))
+                    if job is not None:
+                        job.units_done.add(int(rec.get("unit", -1)))
+                elif kind == "cancel":
+                    job = state.open_jobs.get(rec.get("id", ""))
+                    if job is not None:
+                        job.cancel_requested = True
+                elif kind == "finalized":
+                    jid = rec.get("id", "")
+                    state.open_jobs.pop(jid, None)
+                    state.finalized[jid] = rec.get("state", "done")
+                    state.max_seq = max(state.max_seq, _seq_of(jid))
+                else:
+                    state.skipped += 1
+                    state.records -= 1
+        return state
+
+    def compact(self, state: JournalState) -> None:
+        """Atomically rewrite the journal down to the open jobs.
+
+        Keeps the journal bounded across crash/restart cycles: finished
+        history is dropped, each still-open job keeps exactly one
+        ``submitted`` record (its completed units will replay as cache
+        hits, so ``unit`` records need not survive compaction).  Must be
+        called before :meth:`open`.
+        """
+        assert self._fh is None, "compact before open()"
+        self.dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for job in state.open_jobs.values():
+                rec = {
+                    "rec": "submitted",
+                    "id": job.id,
+                    "digest": job.digest,
+                    "client": job.client,
+                    "payload": job.payload,
+                    "units": job.units,
+                    "ts": round(time.time(), 6),
+                }
+                fh.write(
+                    json.dumps(rec, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+                if job.cancel_requested:
+                    fh.write(
+                        json.dumps(
+                            {"rec": "cancel", "id": job.id,
+                             "ts": round(time.time(), 6)},
+                            sort_keys=True, separators=(",", ":"),
+                        )
+                        + "\n"
+                    )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    def rotate_stale(self) -> Path | None:
+        """Move an existing journal aside (fresh start without --resume).
+
+        Starting without ``--resume`` must not splice new records onto a
+        journal whose open jobs will never be recovered, and must not
+        destroy evidence either — the old file is renamed with a
+        ``.stale`` suffix (numbered on collision) and its path returned.
+        """
+        if not self.path.exists():
+            return None
+        dest = self.path.with_name(self.path.name + STALE_SUFFIX)
+        n = 0
+        while dest.exists():
+            n += 1
+            dest = self.path.with_name(f"{self.path.name}{STALE_SUFFIX}.{n}")
+        os.replace(self.path, dest)
+        return dest
+
+
+def _seq_of(job_id: str) -> int:
+    """Numeric suffix of a ``jNNNNN`` job id (0 if unparseable)."""
+    digits = "".join(ch for ch in job_id if ch.isdigit())
+    try:
+        return int(digits)
+    except ValueError:
+        return 0

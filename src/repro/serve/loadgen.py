@@ -13,6 +13,15 @@ set (every cell should be a cache hit).  Per-job wall-clock latencies are
 summarised as p50/p99 (:func:`repro.eval.bench.percentile`) and written
 with the cache-hit ratio to ``BENCH_serve.json`` — the serving-layer
 companion to ``BENCH_fast_engine.json`` and ``BENCH_sweep_cache.json``.
+
+Client resilience (:class:`ResilientClient`): quota/backpressure 429s,
+drain 503s, and connection resets are retried with capped exponential
+backoff and seeded jitter instead of treated as fatal.  Retrying a
+submission is safe because the server dedupes resubmissions by canonical
+job digest (:func:`repro.serve.journal.job_digest`); retries burned are
+counted into the bench report.  The chaos drill
+(:mod:`repro.serve.drill`) builds on this client to survive servers
+that are being SIGKILLed underneath it.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.common.rng import DEFAULT_SEED, make_rng
 from repro.core.config import intra_config
 from repro.eval.bench import git_rev, percentile, write_bench_json
 from repro.eval.cache import ResultCache
@@ -34,6 +44,14 @@ from repro.serve.server import JobServer, ServerConfig
 #: (app, config, num_threads) triples so the cold pass really simulates).
 BENCH_APPS = ("fft", "lu_cont", "volrend", "water_nsq")
 BENCH_CONFIGS = ("Base", "B+M", "B+M+I")
+
+#: HTTP statuses that mean "back off and try again", not "give up":
+#: 429 = quota/backpressure, 503 = draining.
+RETRYABLE_STATUS = (429, 503)
+
+#: Synthetic status returned when every retry was exhausted on a
+#: transport-level failure (connection refused/reset, torn response).
+EXHAUSTED = 599
 
 
 class LocalServer:
@@ -143,6 +161,127 @@ class LocalServer:
         self._thread.join(timeout=30)
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter.
+
+    ``attempts`` counts retries *after* the first try; the n-th retry
+    sleeps ``min(base_s * 2**n, cap_s)`` scaled by a jitter factor drawn
+    uniformly from [0.5, 1.5) out of one deterministic stream
+    (:func:`repro.common.rng.make_rng`), so a retry storm from many
+    clients decorrelates without sacrificing reproducibility.
+    """
+
+    attempts: int = 8
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    seed: int = DEFAULT_SEED
+
+    @property
+    def worst_case_s(self) -> float:
+        """Upper bound on total sleep across a full retry budget."""
+        return sum(
+            min(self.base_s * 2**n, self.cap_s) * 1.5
+            for n in range(self.attempts)
+        )
+
+
+class ResilientClient:
+    """Blocking HTTP client that rides out 429/503/connection failures.
+
+    Safe by construction: the server dedupes resubmissions by canonical
+    job digest, so replaying a ``POST /v1/jobs`` whose response was lost
+    lands on the already-admitted job instead of double-running it.
+    ``retries`` counts every backoff taken (surfaced in bench reports).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        policy: RetryPolicy | None = None,
+        stream: str = "loadgen",
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy or RetryPolicy()
+        self._rng = make_rng(f"retry-{stream}", self.policy.seed)
+        self.retries = 0
+        self.give_ups = 0
+
+    def _once(
+        self, method: str, path: str, body: dict | None,
+        client: str | None, timeout: float,
+    ) -> tuple[int, dict]:
+        """One raw round-trip; transport failures come back as status 0."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        try:
+            headers = {"Content-Type": "application/json"}
+            if client is not None:
+                headers["X-Repro-Client"] = client
+            conn.request(
+                method, path,
+                body=json.dumps(body) if body is not None else None,
+                headers=headers,
+            )
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read().decode())
+        except (OSError, http.client.HTTPException, ValueError) as exc:
+            # Connection refused (server restarting), reset mid-exchange
+            # (server SIGKILLed), or a torn JSON body: all retryable.
+            return 0, {"error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            conn.close()
+
+    def request(
+        self, method: str, path: str, body: dict | None = None,
+        *, client: str | None = None, timeout: float = 60.0,
+    ) -> tuple[int, dict]:
+        """Round-trip with backoff; returns the first conclusive reply.
+
+        Conclusive means any status outside :data:`RETRYABLE_STATUS`
+        (transport failures are retryable too).  When the budget runs
+        out the last retryable status is returned as-is, or
+        :data:`EXHAUSTED` for a transport failure.
+        """
+        delay = self.policy.base_s
+        attempt = 0
+        while True:
+            status, doc = self._once(method, path, body, client, timeout)
+            if status != 0 and status not in RETRYABLE_STATUS:
+                return status, doc
+            if attempt >= self.policy.attempts:
+                self.give_ups += 1
+                return status or EXHAUSTED, doc
+            attempt += 1
+            self.retries += 1
+            time.sleep(min(delay, self.policy.cap_s)
+                       * (0.5 + self._rng.random()))
+            delay *= 2
+
+    def wait(self, job_id: str, *, timeout: float = 120.0) -> dict | None:
+        """Poll a job until terminal.
+
+        Returns the terminal detail document, or ``None`` when the job
+        vanished (404) or polling gave up — after a crash/restart cycle
+        a *finished* job is compacted out of the journal, so its id no
+        longer resolves; the caller resubmits the payload, which is
+        idempotent and cache-served.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status, doc = self.request("GET", f"/v1/jobs/{job_id}")
+            if status != 200:
+                return None
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            if time.monotonic() > deadline:  # pragma: no cover - hang guard
+                raise TimeoutError(f"job {job_id} still {doc['state']}")
+            time.sleep(0.02)
+
+
 def bench_payloads(jobs: int, *, scale: float) -> list[dict]:
     """*jobs* single-cell sweep payloads cycling app × config × threads."""
     payloads = []
@@ -194,6 +333,7 @@ class _PassStats:
     cache_misses: int = 0
     failures: int = 0
     divergences: int = 0
+    retries: int = 0
     seconds: float = 0.0
 
     def to_dict(self) -> dict:
@@ -211,6 +351,7 @@ class _PassStats:
             "hit_ratio": round(self.cache_hits / total, 4) if total else None,
             "failures": self.failures,
             "divergences": self.divergences,
+            "retries": self.retries,
         }
 
 
@@ -218,53 +359,62 @@ def _run_pass(
     srv: LocalServer, payloads: list[dict], truth: dict[str, dict],
     *, concurrency: int,
 ) -> _PassStats:
-    """Submit every payload from *concurrency* client threads; verify all."""
+    """Submit every payload from *concurrency* client threads; verify all.
+
+    Each thread drives its own :class:`ResilientClient`: 429s (quota,
+    backpressure) and 503s back off with seeded jitter instead of
+    spin-resubmitting, and the retries burned are rolled up into the
+    pass report.
+    """
     stats = _PassStats()
     lock = threading.Lock()
     work = list(payloads)
     t0 = time.perf_counter()
 
-    def one(payload: dict) -> None:
+    def one(client: ResilientClient, payload: dict) -> None:
         t = time.perf_counter()
-        status, doc = srv.request(
+        status, doc = client.request(
             "POST", "/v1/jobs", payload, client=payload["client"]
         )
-        while status == 429:  # over quota: back off and resubmit
-            time.sleep(0.05)
-            status, doc = srv.request(
-                "POST", "/v1/jobs", payload, client=payload["client"]
-            )
         if status != 200:
             with lock:
                 stats.failures += 1
             return
-        final = srv.wait(doc["id"])
+        final = client.wait(doc["id"])
         latency = time.perf_counter() - t
         spec = payload["spec"]
         app, cfg = spec["apps"][0], spec["configs"][0]
         key = f"{app}/{cfg}/t{spec['num_threads']}"
         served = (
-            final.get("result", {}).get("matrix", {}).get(app, {}).get(cfg)
+            (final or {}).get("result", {}).get("matrix", {})
+            .get(app, {}).get(cfg)
         )
         with lock:
             stats.latencies.append(latency)
-            if final["state"] != "done":
+            if final is None or final["state"] != "done":
                 stats.failures += 1
             elif served != truth[key]:
                 stats.divergences += 1
-            stats.cache_hits += final["cache_hits"]
-            stats.cache_misses += final["cache_misses"]
+            if final is not None:
+                stats.cache_hits += final["cache_hits"]
+                stats.cache_misses += final["cache_misses"]
 
-    def drain() -> None:
+    def drain(idx: int) -> None:
+        client = ResilientClient(
+            srv.config.host, srv.port,
+            policy=RetryPolicy(attempts=12), stream=f"pass-{idx}",
+        )
         while True:
             with lock:
                 if not work:
-                    return
+                    break
                 payload = work.pop()
-            one(payload)
+            one(client, payload)
+        with lock:
+            stats.retries += client.retries
 
     threads = [
-        threading.Thread(target=drain, name=f"bench-client-{i}")
+        threading.Thread(target=drain, args=(i,), name=f"bench-client-{i}")
         for i in range(concurrency)
     ]
     for th in threads:

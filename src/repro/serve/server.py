@@ -35,6 +35,14 @@ The HTTP layer is deliberately minimal stdlib asyncio — request/response
 with ``Content-Length`` bodies, chunked transfer for event streams,
 connection-per-request — because the repo bakes in no server framework
 and the job API needs nothing more.
+
+Durability (``--journal DIR``): every lifecycle transition is appended
+to a fsync'd write-ahead journal (:mod:`repro.serve.journal`) *before*
+the client sees the matching response, and ``--resume`` replays it at
+startup — interrupted jobs are requeued under their original ids (their
+finished units come back as cache hits) and identical resubmissions are
+deduped onto the live job by canonical digest, so ``kill -9`` loses no
+acknowledged work.  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -59,6 +67,7 @@ from repro.serve.jobs import (
     JobError,
     compile_job,
 )
+from repro.serve.journal import Journal, RecoveredJob, job_digest
 from repro.serve.pool import UnitOutcome, WorkerFaultPlan, WorkerPool, WorkItem
 
 #: Largest request body the server will read (a job document is tiny).
@@ -82,14 +91,24 @@ class ServerConfig:
     cache: bool = True
     cache_dir: str | None = None  # None = $REPRO_CACHE_DIR / default
     faults: WorkerFaultPlan | None = None  # serve-layer fault injection
+    journal_dir: str | None = None  # None = no write-ahead journal
+    resume: bool = False  # replay the journal and requeue open jobs
 
 
 class Job:
     """One submitted job: units, lifecycle state, counters, event log."""
 
-    def __init__(self, job_id: str, client: str, compiled: CompiledJob) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        client: str,
+        compiled: CompiledJob,
+        digest: str = "",
+    ) -> None:
         self.id = job_id
         self.client = client
+        self.digest = digest
+        self.recovered = False
         self.kind = compiled.kind
         self.spec = compiled.spec
         self.description = compiled.description
@@ -177,6 +196,8 @@ class Job:
         """The per-job view: summary + spec + result document when done."""
         doc = self.summary()
         doc["spec"] = self.spec
+        doc["digest"] = self.digest
+        doc["recovered"] = self.recovered
         doc["events"] = len(self.events)
         if self.result is not None:
             doc["result"] = self.result
@@ -202,16 +223,33 @@ class JobServer:
         self.metrics = Metrics()
         self.started_at = time.time()
         self.port: int | None = None
+        self.journal = (
+            Journal(self.config.journal_dir)
+            if self.config.journal_dir
+            else None
+        )
+        self.recovered_jobs = 0
+        self.deduped_jobs = 0
+        self.recovery: dict = {}
         self._seq = itertools.count(1)
         self._draining = False
         self._server: asyncio.base_events.Server | None = None
         self._stopped = asyncio.Event()
+        self._completions: set[asyncio.Task] = set()
+        self._active_streams = 0
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the listener and spawn the worker pool."""
+        """Bind the listener and spawn the worker pool.
+
+        With a journal configured, recovery runs first — before the
+        listener binds — so resubmissions arriving the instant the port
+        opens already dedupe against the requeued jobs.
+        """
         await self.pool.start()
+        if self.journal is not None:
+            self._recover()
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port
         )
@@ -223,7 +261,14 @@ class JobServer:
         await self._stopped.wait()
 
     async def shutdown(self) -> None:
-        """Graceful drain: stop accepting, finish in-flight, cancel queued."""
+        """Graceful drain: stop accepting, finish in-flight, cancel queued.
+
+        Completion tasks are gathered and in-flight event streams given a
+        bounded window to deliver their final chunk, so a streaming
+        client sees a clean terminator rather than a reset mid-chunk.
+        Jobs interrupted by the drain are *not* journaled as finalized —
+        the next ``--resume`` requeues them.
+        """
         if self._draining:
             return
         self._draining = True
@@ -232,21 +277,101 @@ class JobServer:
             await self._server.wait_closed()
         await self.pool.stop()
         # Any job not yet terminal had pending units dropped by pool.stop()
-        # (reason "shutdown"); _unit_done settled them into "cancelled".
+        # (reason "shutdown"); _unit_done settled them into "cancelled" via
+        # _complete tasks that may not have run yet — finish them now so
+        # every job is terminal and every streamer can reach its end.
+        while self._completions:
+            await asyncio.gather(
+                *list(self._completions), return_exceptions=True
+            )
+        try:
+            await asyncio.wait_for(self._streams_idle(), timeout=5.0)
+        except asyncio.TimeoutError:  # pragma: no cover - stuck client
+            pass
+        if self.journal is not None:
+            self.journal.close()
         self._stopped.set()
+
+    async def _streams_idle(self) -> None:
+        """Resolve once no chunked event stream is still being written."""
+        while self._active_streams:
+            await asyncio.sleep(0.01)
 
     @property
     def url(self) -> str:
         """Base URL of the bound listener."""
         return f"http://{self.config.host}:{self.port}"
 
+    # -- recovery --------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay (or rotate) the journal before the listener binds.
+
+        ``--resume``: fold the journal, continue the job-id sequence past
+        everything ever issued, compact finished history away, and
+        requeue every non-finalized job under its original id.  Without
+        ``--resume`` any existing journal is rotated aside so a fresh
+        run never splices onto unrecovered history.
+        """
+        assert self.journal is not None
+        if not self.config.resume:
+            self.journal.rotate_stale()
+            self.journal.open()
+            return
+        state = self.journal.replay()
+        self.recovery = state.counters()
+        self._seq = itertools.count(state.max_seq + 1)
+        self.journal.compact(state)
+        self.journal.open()
+        for rjob in state.open_jobs.values():
+            self._requeue(rjob)
+
+    def _requeue(self, rjob: RecoveredJob) -> None:
+        """Re-admit one journaled job under its original id."""
+        assert self.journal is not None
+        try:
+            compiled = compile_job(rjob.payload)
+        except Exception as exc:  # noqa: BLE001 - journaled, not re-raised
+            # The payload compiled when first admitted; failing now means
+            # the schema moved underneath the journal.  Finalize it as
+            # failed rather than looping on it forever.
+            self.metrics.inc("serve.jobs.recovery_failed")
+            self.journal.append({
+                "rec": "finalized", "id": rjob.id, "state": "failed",
+                "error": f"recovery: {type(exc).__name__}: {exc}",
+            })
+            return
+        job = Job(rjob.id, rjob.client, compiled, digest=rjob.digest)
+        job.recovered = True
+        if rjob.cancel_requested:
+            job.cancel_requested = True
+            job.state = "cancelling"
+        self.jobs[job.id] = job
+        self.recovered_jobs += 1
+        self.metrics.inc("serve.jobs.recovered")
+        job.emit({"event": "state", "state": job.state, "kind": job.kind,
+                  "units": len(job.units), "recovered": True})
+        self._enqueue(job)
+
     # -- job orchestration ---------------------------------------------------
 
-    def _submit(self, payload: Any, client: str) -> Job:
-        """Validate, admit, register, and enqueue one job."""
+    def _submit(self, payload: Any, client: str) -> tuple[Job, bool]:
+        """Validate, admit, register, and enqueue one job.
+
+        Returns ``(job, deduped)`` — ``deduped`` is True when the payload
+        hashed onto an already-active job (idempotent resubmission, e.g.
+        a client retrying after a connection reset), in which case the
+        existing job is returned and nothing new is enqueued.
+        """
         if self._draining:
             raise JobError("server is draining", status=503)
         compiled = compile_job(payload)
+        digest = job_digest(compiled.kind, compiled.spec, client)
+        for j in self.jobs.values():
+            if j.active and j.digest == digest:
+                self.deduped_jobs += 1
+                self.metrics.inc("serve.jobs.deduped")
+                return j, True
         active = sum(
             1 for j in self.jobs.values()
             if j.client == client and j.active
@@ -266,11 +391,24 @@ class JobServer:
                 f"(limit {self.config.queue_limit})",
                 status=429,
             )
-        job = Job(f"j{next(self._seq):05d}", client, compiled)
+        job = Job(f"j{next(self._seq):05d}", client, compiled, digest=digest)
         self.jobs[job.id] = job
+        if self.journal is not None:
+            # Fsync'd before the 200 goes out: an acknowledged submission
+            # is always recoverable.
+            self.journal.append({
+                "rec": "submitted", "id": job.id, "digest": digest,
+                "client": client, "payload": payload,
+                "units": len(job.units),
+            })
         self.metrics.inc("serve.jobs.submitted")
         job.emit({"event": "state", "state": "queued",
                   "kind": job.kind, "units": len(job.units)})
+        self._enqueue(job)
+        return job, False
+
+    def _enqueue(self, job: Job) -> None:
+        """Put every unit of *job* on the worker pool."""
         for idx, unit in enumerate(job.units):
             self.pool.put(
                 WorkItem(
@@ -282,7 +420,6 @@ class JobServer:
                     ),
                 )
             )
-        return job
 
     def _runnable(self, job: Job) -> bool:
         return not (
@@ -315,6 +452,9 @@ class JobServer:
             job.cache_misses += outcome.cache_misses
             job.simulated += outcome.simulated
             job.retries += outcome.attempts - 1
+            if self.journal is not None:
+                self.journal.append({"rec": "unit", "id": job.id,
+                                     "unit": idx})
             self.metrics.inc("serve.units.done")
             self.metrics.inc("serve.units.cache_hits", outcome.cache_hits)
             self.metrics.inc("serve.units.cache_misses", outcome.cache_misses)
@@ -329,7 +469,13 @@ class JobServer:
                 "done": job.settled_units, "total": len(job.units),
             })
         if job.settled_units == len(job.units) and not job.terminal:
-            asyncio.get_running_loop().create_task(self._complete(job))
+            self._spawn_completion(job)
+
+    def _spawn_completion(self, job: Job) -> None:
+        """Schedule :meth:`_complete` and track it for shutdown to gather."""
+        task = asyncio.get_running_loop().create_task(self._complete(job))
+        self._completions.add(task)
+        task.add_done_callback(self._completions.discard)
 
     async def _complete(self, job: Job) -> None:
         """Settle a job whose units have all drained."""
@@ -352,15 +498,26 @@ class JobServer:
             self.metrics.inc("serve.jobs.cancelled")
         else:
             try:
-                job.result = await self.pool.run_in_thread(
-                    job.finalize, [o.result for o in job.outcomes]
-                )
+                results = [o.result for o in job.outcomes]
+                if self._draining:
+                    # The pool's thread executor may already be shut down;
+                    # finalize is cheap aggregation, run it inline.
+                    job.result = job.finalize(results)
+                else:
+                    job.result = await self.pool.run_in_thread(
+                        job.finalize, results
+                    )
                 job.state = "done"
                 self.metrics.inc("serve.jobs.done")
             except Exception as exc:  # noqa: BLE001 - surfaced to the client
                 job.state = "failed"
                 job.error = f"finalize: {type(exc).__name__}: {exc}"
                 self.metrics.inc("serve.jobs.failed")
+        if self.journal is not None and not self._interrupted(job):
+            self.journal.append({
+                "rec": "finalized", "id": job.id,
+                "state": job.state, "error": job.error,
+            })
         job.finished = time.time()
         self.metrics.observe(
             "serve.lat.job_ms", int((job.finished - job.created) * 1000)
@@ -374,6 +531,19 @@ class JobServer:
             "error": job.error,
         })
 
+    def _interrupted(self, job: Job) -> bool:
+        """True when *job* was cancelled by the drain, not by a client.
+
+        Interrupted jobs are deliberately not journaled as finalized:
+        the next ``--resume`` requeues them, which is the whole point of
+        the journal.  An explicit client cancel still finalizes.
+        """
+        return (
+            self._draining
+            and job.state == "cancelled"
+            and not job.cancel_requested
+        )
+
     def _cancel(self, job: Job) -> dict:
         """Request cancellation; pending units skip, in-flight ones drain."""
         if job.terminal:
@@ -382,11 +552,13 @@ class JobServer:
         if not job.cancel_requested:
             job.cancel_requested = True
             job.state = "cancelling"
+            if self.journal is not None:
+                self.journal.append({"rec": "cancel", "id": job.id})
             job.emit({"event": "state", "state": "cancelling"})
             if job.settled_units == len(job.units):
                 # Nothing queued or in flight (e.g. cancel raced the last
                 # unit): settle immediately.
-                asyncio.get_running_loop().create_task(self._complete(job))
+                self._spawn_completion(job)
         return {"ok": True, "state": job.state}
 
     # -- HTTP front end ------------------------------------------------------
@@ -497,6 +669,12 @@ class JobServer:
             states: dict[str, int] = {}
             for job in self.jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
+            cache = self.pool.cache
+            if cache is not None:
+                # Mirror cache counters into the registry so the snapshot
+                # carries cache.corrupt_detected & co alongside serve.*.
+                for name, value in cache.counters().items():
+                    self.metrics.set(f"cache.{name}", value)
             await self._send_json(writer, 200, {
                 "queue_depth": self.pool.depth(),
                 "in_flight": self.pool.in_flight,
@@ -505,6 +683,14 @@ class JobServer:
                 "units_run": self.pool.units_run,
                 "retries_used": self.pool.retries_used,
                 "uptime_s": round(time.time() - self.started_at, 3),
+                "durability": {
+                    "journal": self.journal is not None,
+                    "resumed": bool(self.config.resume),
+                    "recovered_jobs": self.recovered_jobs,
+                    "deduped_jobs": self.deduped_jobs,
+                    "recovery": self.recovery,
+                },
+                "cache": cache.counters() if cache is not None else None,
                 "metrics": self.metrics.snapshot(),
             })
         elif rest == ["jobs"]:
@@ -545,7 +731,7 @@ class JobServer:
             payload.get("client") if isinstance(payload, dict) else None
         ) or ANONYMOUS
         try:
-            job = self._submit(payload, str(client))
+            job, deduped = self._submit(payload, str(client))
         except JobError as exc:
             await self._send_json(
                 writer, exc.status, {"error": str(exc)}
@@ -555,6 +741,7 @@ class JobServer:
             "ok": True,
             "id": job.id,
             "state": job.state,
+            "deduped": deduped,
             "units": len(job.units),
             "links": {
                 "status": f"/v1/jobs/{job.id}",
@@ -586,27 +773,38 @@ class JobServer:
     async def _stream_events(
         self, job: Job, writer: asyncio.StreamWriter
     ) -> None:
-        """Chunked JSONL: replay the event log, then tail until terminal."""
-        writer.write(self._head(
-            200,
-            "Content-Type: application/x-ndjson\r\n"
-            "Transfer-Encoding: chunked\r\n\r\n",
-        ))
-        await writer.drain()
-        cursor = 0
-        while True:
-            limit = await job.next_events(cursor)
-            while cursor < limit:
-                data = (
-                    json.dumps(job.events[cursor], sort_keys=True) + "\n"
-                ).encode()
-                writer.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
-                cursor += 1
+        """Chunked JSONL: replay the event log, then tail until terminal.
+
+        Streams are counted so a graceful drain can wait for the final
+        chunk (and the ``0\\r\\n\\r\\n`` terminator) to reach the client
+        instead of resetting the connection mid-stream.
+        """
+        self._active_streams += 1
+        try:
+            writer.write(self._head(
+                200,
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n\r\n",
+            ))
             await writer.drain()
-            if job.terminal and cursor >= len(job.events):
-                break
-        writer.write(b"0\r\n\r\n")
-        await writer.drain()
+            cursor = 0
+            while True:
+                limit = await job.next_events(cursor)
+                while cursor < limit:
+                    data = (
+                        json.dumps(job.events[cursor], sort_keys=True) + "\n"
+                    ).encode()
+                    writer.write(
+                        f"{len(data):x}\r\n".encode() + data + b"\r\n"
+                    )
+                    cursor += 1
+                await writer.drain()
+                if job.terminal and cursor >= len(job.events):
+                    break
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            self._active_streams -= 1
 
 
 async def _serve(config: ServerConfig) -> int:
@@ -624,11 +822,17 @@ async def _serve(config: ServerConfig) -> int:
             )
         except (NotImplementedError, RuntimeError):  # pragma: no cover
             pass  # non-POSIX event loop; Ctrl-C still raises KeyboardInterrupt
+    journal = (
+        f", journal={config.journal_dir}"
+        f"{' (resumed ' + str(server.recovered_jobs) + ' job(s))' if config.resume else ''}"
+        if config.journal_dir
+        else ""
+    )
     print(
         f"repro serve: listening on {server.url} "
         f"(workers={config.workers}, quota={config.quota}, "
         f"queue_limit={config.queue_limit}, "
-        f"cache={'on' if config.cache else 'off'})",
+        f"cache={'on' if config.cache else 'off'}{journal})",
         file=sys.stderr,
     )
     await server.serve_forever()

@@ -5,10 +5,12 @@ import json
 from repro.common.params import intra_block_machine
 from repro.core.config import INTRA_BMI, INTRA_HCC
 from repro.eval.cache import (
+    CACHE_SCHEMA,
     ResultCache,
     cell_key,
     default_cache_dir,
     describe_cell,
+    payload_digest,
 )
 from repro.eval.parallel import SweepCell, _run_cell
 
@@ -103,3 +105,101 @@ class TestResultCache:
     def test_default_root_under_home(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert default_cache_dir().name == "repro-sweeps"
+
+
+class TestIntegrity:
+    """Checksummed entries, quarantine, and self-healing (ISSUE 9)."""
+
+    def test_entries_carry_a_verifiable_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        c = cell()
+        path = cache.put(c, _run_cell(c))
+        doc = json.loads(path.read_text())
+        assert doc["sha256"] == payload_digest(doc)
+        assert doc["cell"]["schema"] == CACHE_SCHEMA
+
+    def test_truncated_entry_is_a_miss_not_an_exception(self, tmp_path):
+        """Regression: a crash mid-write must read back as a miss."""
+        cache = ResultCache(tmp_path)
+        c = cell()
+        path = cache.put(c, _run_cell(c))
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])  # torn file
+        assert cache.get(c) is None
+        assert cache.corrupt_detected == 1
+
+    def test_bitflip_is_detected_and_never_served(self, tmp_path):
+        """A parseable-but-tampered entry must fail the checksum."""
+        cache = ResultCache(tmp_path)
+        c = cell()
+        path = cache.put(c, _run_cell(c))
+        doc = json.loads(path.read_text())
+        doc["result"]["stats"]["exec_time"] += 1
+        path.write_text(json.dumps(doc))  # checksum now stale
+        assert cache.get(c) is None
+        assert cache.corrupt_detected == 1
+
+    def test_corrupt_entry_is_quarantined_then_healed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        c = cell()
+        result = _run_cell(c)
+        path = cache.put(c, result)
+        path.write_text("garbage")
+        assert cache.get(c) is None  # detected -> quarantined -> miss
+        assert not path.exists()
+        q = list(cache.quarantine_dir.glob("*.corrupt"))
+        assert len(q) == 1 and q[0].read_text() == "garbage"
+        # self-heal: recompute + put rewrites the same key
+        cache.put(c, result)
+        back = cache.get(c)
+        assert back is not None and back.exec_time == result.exec_time
+        assert cache.counters()["quarantined"] == 1
+
+    def test_quarantined_files_are_not_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        c = cell()
+        path = cache.put(c, _run_cell(c))
+        path.write_text("junk")
+        cache.get(c)
+        assert len(cache) == 0
+
+    def test_verify_classifies_ok_stale_and_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        c = cell()
+        cache.put(c, _run_cell(c))
+        other = cache.put(cell(app="raytrace"), _run_cell(cell(app="raytrace")))
+        other.write_text(other.read_text()[:40])  # corrupt one
+        # forge a healthy entry from an older cache schema
+        stale_doc = json.loads(
+            cache.put(cell(scale=0.25), _run_cell(cell(scale=0.25))).read_text()
+        )
+        stale_doc["cell"]["schema"] = CACHE_SCHEMA - 1
+        stale_doc["sha256"] = payload_digest(stale_doc)
+        stale_path = cache._path(stale_doc["key"])
+        stale_path.write_text(json.dumps(stale_doc))
+        report = cache.verify()
+        assert report["checked"] == 3
+        assert report["ok"] == 1
+        assert report["stale"] == 1
+        assert report["corrupt"] == 1
+        assert str(other) in report["corrupt_paths"]
+
+    def test_gc_reclaims_stale_and_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        c = cell()
+        cache.put(c, _run_cell(c))
+        bad = cache.put(cell(app="raytrace"), _run_cell(cell(app="raytrace")))
+        bad.write_text("xx")
+        report = cache.gc()
+        assert report["corrupt_quarantined"] == 1
+        assert report["quarantine_removed"] >= 1
+        assert report["kept"] == 1
+        assert cache.get(c) is not None
+
+    def test_stats_shape(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cell(), _run_cell(cell()))
+        doc = cache.stats()
+        assert doc["entries"] == 1 and doc["bytes"] > 0
+        assert doc["by_schema"] == {str(CACHE_SCHEMA): 1}
+        assert doc["quarantined_files"] == 0

@@ -1,0 +1,148 @@
+"""Unit tests for the write-ahead journal (repro.serve.journal)."""
+
+import json
+
+from repro.serve.journal import (
+    JOURNAL_NAME,
+    JOURNAL_SCHEMA,
+    Journal,
+    job_digest,
+)
+
+
+def submitted(jid, digest="d", client="c", payload=None, units=2):
+    return {"rec": "submitted", "id": jid, "digest": digest,
+            "client": client, "payload": payload or {"kind": "sweep"},
+            "units": units}
+
+
+class TestDigest:
+    def test_stable_and_order_insensitive(self):
+        a = job_digest("sweep", {"apps": ["fft"], "scale": 0.5}, "alice")
+        b = job_digest("sweep", {"scale": 0.5, "apps": ["fft"]}, "alice")
+        assert a == b and len(a) == 64
+
+    def test_varies_with_kind_spec_and_client(self):
+        base = job_digest("sweep", {"apps": ["fft"]}, "alice")
+        assert job_digest("gen", {"apps": ["fft"]}, "alice") != base
+        assert job_digest("sweep", {"apps": ["lu_cont"]}, "alice") != base
+        assert job_digest("sweep", {"apps": ["fft"]}, "bob") != base
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, tmp_path):
+        j = Journal(tmp_path)
+        j.open()
+        j.append(submitted("j00001"))
+        j.append({"rec": "unit", "id": "j00001", "unit": 0})
+        j.append(submitted("j00002"))
+        j.append({"rec": "finalized", "id": "j00002", "state": "done"})
+        j.close()
+        state = Journal(tmp_path).replay()
+        assert set(state.open_jobs) == {"j00001"}
+        assert state.open_jobs["j00001"].units_done == {0}
+        assert state.finalized == {"j00002": "done"}
+        assert state.max_seq == 2
+        assert state.incarnations == 1
+        assert state.skipped == 0
+
+    def test_every_record_is_fsynced_one_per_line(self, tmp_path):
+        j = Journal(tmp_path)
+        j.open()
+        j.append(submitted("j00001"))
+        # readable mid-session without close(): flush+fsync per append
+        lines = (tmp_path / JOURNAL_NAME).read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["rec"] == "open"
+        assert json.loads(lines[0])["schema"] == JOURNAL_SCHEMA
+        assert json.loads(lines[1])["id"] == "j00001"
+        j.close()
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        """A crash mid-append must not poison recovery."""
+        j = Journal(tmp_path)
+        j.open()
+        j.append(submitted("j00001"))
+        j.append(submitted("j00002"))
+        j.close()
+        path = tmp_path / JOURNAL_NAME
+        raw = path.read_text()
+        path.write_text(raw[:-20])  # tear the last record
+        state = Journal(tmp_path).replay()
+        assert set(state.open_jobs) == {"j00001"}
+        assert state.skipped == 1
+
+    def test_garbage_lines_are_skipped_not_fatal(self, tmp_path):
+        j = Journal(tmp_path)
+        j.open()
+        j.append(submitted("j00001"))
+        j.close()
+        path = tmp_path / JOURNAL_NAME
+        path.write_text("not json\n" + path.read_text() + "[1,2]\n")
+        state = Journal(tmp_path).replay()
+        assert set(state.open_jobs) == {"j00001"}
+        assert state.skipped == 2
+
+    def test_cancel_marks_the_open_job(self, tmp_path):
+        j = Journal(tmp_path)
+        j.open()
+        j.append(submitted("j00001"))
+        j.append({"rec": "cancel", "id": "j00001"})
+        j.close()
+        state = Journal(tmp_path).replay()
+        assert state.open_jobs["j00001"].cancel_requested
+
+    def test_replay_of_missing_file_is_empty(self, tmp_path):
+        state = Journal(tmp_path / "nowhere").replay()
+        assert not state.open_jobs and state.records == 0
+
+    def test_max_seq_counts_finalized_ids_too(self, tmp_path):
+        """The id sequence must never be reissued, even for done jobs."""
+        j = Journal(tmp_path)
+        j.open()
+        j.append(submitted("j00007"))
+        j.append({"rec": "finalized", "id": "j00007", "state": "done"})
+        j.close()
+        assert Journal(tmp_path).replay().max_seq == 7
+
+
+class TestCompactAndRotate:
+    def test_compact_keeps_only_open_jobs(self, tmp_path):
+        j = Journal(tmp_path)
+        j.open()
+        for i in range(1, 6):
+            j.append(submitted(f"j0000{i}"))
+        for i in range(1, 4):
+            j.append({"rec": "finalized", "id": f"j0000{i}", "state": "done"})
+        j.append({"rec": "cancel", "id": "j00005"})
+        j.close()
+        state = Journal(tmp_path).replay()
+        j2 = Journal(tmp_path)
+        j2.compact(state)
+        lines = (tmp_path / JOURNAL_NAME).read_text().splitlines()
+        recs = [json.loads(line) for line in lines]
+        assert [r["id"] for r in recs if r["rec"] == "submitted"] == \
+            ["j00004", "j00005"]
+        assert [r["id"] for r in recs if r["rec"] == "cancel"] == ["j00005"]
+        # compaction loses no recovery information
+        state2 = j2.replay()
+        assert set(state2.open_jobs) == {"j00004", "j00005"}
+        assert state2.open_jobs["j00005"].cancel_requested
+
+    def test_rotate_stale_preserves_evidence(self, tmp_path):
+        j = Journal(tmp_path)
+        j.open()
+        j.append(submitted("j00001"))
+        j.close()
+        moved = Journal(tmp_path).rotate_stale()
+        assert moved is not None and moved.exists()
+        assert not (tmp_path / JOURNAL_NAME).exists()
+        # a second rotation numbers the destination instead of clobbering
+        j2 = Journal(tmp_path)
+        j2.open()
+        j2.close()
+        moved2 = Journal(tmp_path).rotate_stale()
+        assert moved2 != moved and moved2.exists() and moved.exists()
+
+    def test_rotate_without_journal_is_a_noop(self, tmp_path):
+        assert Journal(tmp_path).rotate_stale() is None

@@ -10,6 +10,7 @@ and cache-served resubmission.
 
 from __future__ import annotations
 
+import threading
 import time
 
 import pytest
@@ -116,6 +117,38 @@ class TestBitIdentical:
         assert all(e["cache"] in ("hit", "miss") for e in unit_events)
         assert events[-1]["state"] == final["state"] == "done"
 
+    def test_drain_terminates_inflight_event_stream(self, tmp_path):
+        """Graceful drain must end an open chunked stream, not hang it.
+
+        A client tailing ``/v1/jobs/{id}/events`` when ``/v1/shutdown``
+        lands must see the stream close with a terminal state event —
+        ``done`` if the job squeaked through, ``cancelled`` if the drain
+        skipped its remaining units — rather than blocking forever on a
+        half-open chunked response.
+        """
+        cfg = ServerConfig(workers=1, cache_dir=str(tmp_path / "cache"))
+        with LocalServer(cfg) as srv:
+            st, sub = srv.request("POST", "/v1/jobs", sweep_payload(
+                apps=("fft", "lu_cont", "volrend", "water_nsq"),
+                configs=("Base", "B+M", "B+M+I"),
+                scale=0.5,
+            ))
+            assert st == 200
+            got: list[dict] = []
+            tail = threading.Thread(
+                target=lambda: got.extend(srv.stream_events(sub["id"])),
+                daemon=True,
+            )
+            tail.start()
+            time.sleep(0.1)  # stream attached, units flowing
+            st, _ = srv.request("POST", "/v1/shutdown", timeout=30.0)
+            assert st == 200
+            tail.join(timeout=30.0)
+            assert not tail.is_alive(), "event stream hung across drain"
+            assert got, "stream delivered no events"
+            assert got[-1]["event"] == "state"
+            assert got[-1]["state"] in ("done", "cancelled")
+
 
 class TestCache:
     def test_resubmission_is_cache_served_and_10x_faster(self, server):
@@ -156,8 +189,15 @@ class TestAdmissionControl:
         )
         with LocalServer(cfg) as srv:
             st, sub = srv.request("POST", "/v1/jobs", big, client="greedy")
-            assert st == 200
-            st, err = srv.request("POST", "/v1/jobs", big, client="greedy")
+            assert st == 200 and not sub["deduped"]
+            # an identical resubmission while active dedupes onto the
+            # live job instead of burning quota (idempotent by digest)
+            st, dup = srv.request("POST", "/v1/jobs", big, client="greedy")
+            assert st == 200 and dup["deduped"] and dup["id"] == sub["id"]
+            # a *different* job from the same client trips the quota
+            st, err = srv.request(
+                "POST", "/v1/jobs", sweep_payload(), client="greedy"
+            )
             assert st == 429 and "quota" in err["error"]
             # quota is per client: another identity is admitted
             st, other = srv.request(
@@ -166,9 +206,10 @@ class TestAdmissionControl:
             assert st == 200
             srv.wait(sub["id"])
             srv.wait(other["id"])
-            # terminal jobs release quota
+            # terminal jobs release quota (and do not dedupe)
             st, again = srv.request("POST", "/v1/jobs", big, client="greedy")
-            assert st == 200
+            assert st == 200 and not again["deduped"]
+            assert again["id"] != sub["id"]
             srv.wait(again["id"])
 
     def test_queue_limit_backpressure_429(self, tmp_path):
