@@ -32,7 +32,13 @@ Every diagnostic references a rule ID documented in ``docs/ANNOTATIONS.md``.
 from repro.analysis.extract import KernelTrace, OpEvent, extract
 from repro.analysis.hb import HBAnalysis, analyze_hb
 from repro.analysis.lint import Finding, LintReport, lint_machine, lint_trace
-from repro.analysis.rules import RULES, Rule
+from repro.analysis.rules import (
+    MODEL_PROFILES,
+    RULES,
+    ModelLintProfile,
+    Rule,
+    lint_profile,
+)
 
 __all__ = [
     "KernelTrace",
@@ -46,4 +52,7 @@ __all__ = [
     "lint_trace",
     "RULES",
     "Rule",
+    "ModelLintProfile",
+    "MODEL_PROFILES",
+    "lint_profile",
 ]

@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.analysis.extract import KernelTrace, OpEvent, extract
 from repro.analysis.hb import WORD, AnnotEvent, CommEdge, analyze_hb
-from repro.analysis.rules import RULES
+from repro.analysis.rules import RULES, lint_profile
 
 from repro.isa import ops as isa
 
@@ -133,6 +133,11 @@ class LintReport:
     events: int
     edges: int
     findings: list[Finding] = field(default_factory=list)
+    #: Memory model whose lint profile filtered the findings.
+    model: str = "base"
+    #: Findings dropped by the model's waiver set (performance obligations
+    #: the model discharges in the protocol itself).
+    waived: int = 0
 
     @property
     def errors(self) -> int:
@@ -167,6 +172,7 @@ class LintReport:
         return {
             "name": self.name,
             "config": self.config,
+            "model": self.model,
             "machine": {
                 "threads": self.num_threads,
                 "blocks": self.num_blocks,
@@ -174,6 +180,7 @@ class LintReport:
             "summary": {
                 "errors": self.errors,
                 "warnings": self.warnings,
+                "waived": self.waived,
                 "events": self.events,
                 "edges": self.edges,
             },
@@ -187,6 +194,8 @@ class LintReport:
             f"{self.errors} error(s), {self.warnings} warning(s) "
             f"({self.edges} communication edge(s) over {self.events} op(s))"
         )
+        if self.model != "base":
+            head += f" [model {self.model}: {self.waived} waived]"
         lines = [head]
         for f in self.findings:
             lines.append(f"  {f.severity:7s} {f.rule_id:9s} {f.message}")
@@ -708,18 +717,34 @@ class _Checker:
 
 
 def lint_trace(
-    trace: KernelTrace, *, name: str = "", config: str = ""
+    trace: KernelTrace, *, name: str = "", config: str = "",
+    model: str = "base",
 ) -> LintReport:
-    """Check one extracted kernel trace against the annotation rules."""
-    return _Checker(trace, name, config).run()
+    """Check one extracted kernel trace against the annotation rules.
+
+    ``model`` selects the :class:`~repro.analysis.rules.ModelLintProfile`
+    that parameterizes the catalog: findings of waived rules are dropped
+    (and counted in ``report.waived``), because that model discharges the
+    obligation inside the protocol itself.
+    """
+    report = _Checker(trace, name, config).run()
+    profile = lint_profile(model)
+    report.model = profile.model
+    if profile.waived:
+        kept = [f for f in report.findings if profile.keeps(f.rule_id)]
+        report.waived = len(report.findings) - len(kept)
+        report.findings = kept
+    return report
 
 
 def lint_machine(
-    machine: "Machine", *, name: str = "", config: str = ""
+    machine: "Machine", *, name: str = "", config: str = "",
+    model: str = "base",
 ) -> LintReport:
     """Extract and check a prepared (but not yet run) machine.
 
     ``name``/``config`` label the report only; the machine must already
     have its threads spawned with the annotation config under test.
+    ``model`` is passed through to :func:`lint_trace`.
     """
-    return lint_trace(extract(machine), name=name, config=config)
+    return lint_trace(extract(machine), name=name, config=config, model=model)

@@ -28,7 +28,7 @@ Rule families:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -152,3 +152,83 @@ _CATALOG = [
 
 #: The catalog, keyed by rule ID.
 RULES: dict[str, Rule] = {r.rule_id: r for r in _CATALOG}
+
+
+@dataclass(frozen=True)
+class ModelLintProfile:
+    """How one memory model (:mod:`repro.models`) parameterizes the catalog.
+
+    Table I is written for the ``base`` incoherent hierarchy; other models
+    discharge some obligations in the protocol itself.  ``waived`` lists
+    the rule IDs whose findings that model's lint run drops, ``rationale``
+    says why in one sentence, and ``notes`` carries per-rule commentary
+    for rules the model *keeps* but reinterprets (rendered in
+    ``docs/ANNOTATIONS.md`` and JSON reports).
+    """
+
+    model: str
+    waived: frozenset[str]
+    rationale: str
+    notes: dict[str, str] = field(default_factory=dict)
+
+    def keeps(self, rule_id: str) -> bool:
+        """True when findings of *rule_id* survive under this model."""
+        return rule_id not in self.waived
+
+
+#: Per-model lint profiles, keyed by registered model name.
+MODEL_PROFILES: dict[str, ModelLintProfile] = {
+    "base": ModelLintProfile(
+        model="base",
+        waived=frozenset(),
+        rationale="the catalog's native model: every Table I obligation "
+        "applies verbatim",
+    ),
+    "hcc": ModelLintProfile(
+        model="hcc",
+        waived=frozenset(RULES),
+        rationale="hardware MESI invalidates and forwards on its own; no "
+        "annotation is ever required (HCC configurations are rejected by "
+        "the lint front-ends for exactly this reason)",
+    ),
+    "rc": ModelLintProfile(
+        model="rc",
+        waived=frozenset({"WB-OCC", "WB-RED", "INV-RED"}),
+        rationale="the region write set spans every write since the last "
+        "region flush, so a release-side WB ALL already covers lines "
+        "written outside the protecting construct, and no WB before "
+        "release is needed for non-region lines; acquire invalidation is "
+        "lazy, so redundant annotations cost (nearly) nothing",
+        notes={
+            "WB-REL": "the release's WB ALL flushes only region-written "
+            "lines — precise by construction, no MEB epoch to miss",
+            "INV-ACQ": "discharged lazily: the acquire opens an epoch and "
+            "each stale line pays its refresh on first read",
+        },
+    ),
+    "sisd": ModelLintProfile(
+        model="sisd",
+        waived=frozenset({"WB-RED", "INV-RED"}),
+        rationale="WB/INV ranges are ignored — every annotation triggers "
+        "a full self-downgrade/self-invalidation of the shared set, so "
+        "'redundant by range' has no meaning; every INV-side error rule "
+        "is kept because nothing ever invalidates a copy remotely — a "
+        "consumer that skips its own SI keeps its stale line forever",
+        notes={
+            "INV-BAR": "SISD forbids relying on remote invalidation: only "
+            "the consumer's own sync-triggered SI removes stale copies",
+            "WB-BAR": "first-touch transition recovery rescues lines "
+            "communicated while still private, but every later round "
+            "needs the sync-triggered SD this annotation provides",
+        },
+    ),
+}
+
+
+def lint_profile(model: str | None = None) -> ModelLintProfile:
+    """The lint profile for *model* (default ``base``).
+
+    Unknown model names raise ``KeyError`` — the CLI validates against the
+    model registry before reaching this point.
+    """
+    return MODEL_PROFILES[model or "base"]

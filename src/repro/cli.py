@@ -13,6 +13,8 @@ Usage (also via ``python -m repro``)::
     repro fleet --scenarios 32 --engines ref,fast  # auto-checked scenario fleet
     repro lint --all-workloads              # static WB/INV annotation check
     repro lint missing_annotations --fix    # auto-insert + verify vs HCC
+    repro litmus mp_flag --model rc         # one litmus kernel, one model
+    repro litmus --matrix --json            # model x kernel x engine grid
     repro chaos --plans 100 --seed 7        # seeded fault-injection sweep
     repro chaos --list-faults               # injectable fault catalog
     repro bench fig9 --engine fast --repeat 3      # timed sweep -> BENCH json
@@ -28,6 +30,13 @@ simulator core — ``ref`` is the dict-based reference, ``fast`` the
 packed-array core (see ``repro.engines``).  Both are bit-identical by
 contract, so figure sweeps may serve either engine's runs from the shared
 result cache.
+
+Memory-model selection: ``--model {base,rc,sisd}`` (or ``$REPRO_MODEL``)
+picks the registered consistency backend for software-coherent
+configurations (see ``repro.models``; hardware-coherent Table II configs
+always run directory MESI).  Models are *not* bit-identical in timing, so
+the result cache keys on the effective model id.  ``repro litmus --matrix``
+is the conformance grid over every registered model.
 
 Figure sweeps fan out over ``--jobs`` worker processes (default: CPU count)
 and reuse verified results from the persistent cache under
@@ -95,6 +104,7 @@ def _cmd_run(args) -> int:
                 num_threads=16,
                 detect_staleness=True,
                 engine=args.engine,
+                model=args.model,
             )
             MODEL_ONE[app](scale=args.scale).run_on(machine)
             n = len(machine.stale_reads)
@@ -103,10 +113,14 @@ def _cmd_run(args) -> int:
             for event in machine.stale_reads[:10]:
                 print(f"  {event!r}")
             return 0 if n == 0 else 1
-        result = run_intra(app, config, scale=args.scale, engine=args.engine)
+        result = run_intra(
+            app, config, scale=args.scale, engine=args.engine, model=args.model
+        )
     elif app in MODEL_TWO:
         config = inter_config(args.config)
-        result = run_inter(app, config, scale=args.scale, engine=args.engine)
+        result = run_inter(
+            app, config, scale=args.scale, engine=args.engine, model=args.model
+        )
     else:
         print(f"unknown workload {app!r} (try `repro list`)", file=sys.stderr)
         return 2
@@ -154,9 +168,14 @@ def _figure_sweep(args, kind: str, apps, configs):
     ``--engine`` is exported via ``$REPRO_ENGINE`` (which worker processes
     inherit) rather than threaded through the cell kwargs, so the result
     cache stays engine-agnostic — engines are bit-identical by contract.
+    ``--model`` takes the same env-var route (``$REPRO_MODEL``), but the
+    cache is *not* model-agnostic: the cell describer folds the effective
+    model id into the key, so each model's sweep caches separately.
     """
     if getattr(args, "engine", None) is not None:
         os.environ["REPRO_ENGINE"] = args.engine
+    if getattr(args, "model", None) is not None:
+        os.environ["REPRO_MODEL"] = args.model
     if args.trace is not None or args.metrics is not None:
         from repro.obs.replay import traced_sweep
 
@@ -495,7 +514,9 @@ def _cmd_lint(args) -> int:
             for cfg_ in build_cfgs(trace):
                 print(render_cfg(cfg_))
             continue
-        report = lint_machine(machine, name=name, config=config.name)
+        report = lint_machine(
+            machine, name=name, config=config.name, model=args.model
+        )
         entry = report.to_dict()
         if kind == "litmus":
             kernel = LITMUS[name]
@@ -592,6 +613,79 @@ def _run_fix(name: str, config, report, as_json: bool) -> int:
     return 0 if ok else 1
 
 
+def _cmd_litmus(args) -> int:
+    """Run litmus kernels directly, or the memory-model matrix (--matrix)."""
+    import json as _json
+    import pathlib
+
+    from repro.core.config import INTER_ADDR_L, INTRA_BMI
+    from repro.eval.runner import run_litmus
+    from repro.workloads.litmus import LITMUS
+
+    kernels = args.kernel or None
+    if args.matrix:
+        from repro.eval import bench
+        from repro.models.matrix import (
+            matrix_bench_payload,
+            render_matrix,
+            run_matrix,
+        )
+
+        models = (
+            [m for m in args.models.split(",") if m] if args.models else None
+        )
+        engines = (
+            [e for e in args.engines.split(",") if e] if args.engines else None
+        )
+
+        def go():
+            return run_matrix(
+                models, kernels, engines, executor=_sweep_executor(args)
+            )
+
+        result, seconds = bench.measure(go)
+        doc = result.to_dict()
+        if args.bench:
+            payload = matrix_bench_payload(result, seconds)
+            path = bench.write_bench_json(payload)
+            print(f"bench -> {path}", file=sys.stderr)
+        if args.out:
+            pathlib.Path(args.out).write_text(
+                _json.dumps(doc, indent=1, sort_keys=True)
+            )
+            print(f"matrix -> {args.out}", file=sys.stderr)
+        if args.json:
+            print(_json.dumps(doc, indent=1, sort_keys=True))
+        else:
+            print(render_matrix(result))
+        return 0 if result.ok else 1
+
+    # Direct mode: run each kernel once under the selected model, applying
+    # the kernel's self-checking oracle where it has one.
+    worst = 0
+    for name in kernels or list(LITMUS):
+        kernel = LITMUS.get(name)
+        if kernel is None:
+            from repro.common.errors import ConfigError
+
+            raise ConfigError(f"unknown litmus kernel {name!r} (try `repro list`)")
+        config = INTER_ADDR_L if kernel.model == "inter" else INTRA_BMI
+        verify = kernel.determinate
+        try:
+            result = run_litmus(
+                name, config, verify=verify, memory_digest=True,
+                model=args.model, engine=args.engine,
+            )
+        except AssertionError as exc:
+            print(f"{name:36s} [{kernel.model}] ORACLE FAILED: {exc}")
+            worst = 1
+            continue
+        tag = "verified" if verify and kernel.check else "ran (no oracle)"
+        print(f"{name:36s} [{kernel.model}] {tag}  "
+              f"exec {result.exec_time} cycles  digest {result.memory_digest}")
+    return worst
+
+
 def _cmd_chaos(args) -> int:
     """Seeded fault-injection sweep with degraded-mode verification."""
     from repro.common.errors import ConfigError
@@ -619,7 +713,9 @@ def _cmd_chaos(args) -> int:
             ) from None
     seed = DEFAULT_SEED if args.seed is None else args.seed
     plans = random_plans(args.plans, seed=seed, kinds=kinds)
-    targets = default_targets(args.workload or None, scale=args.scale)
+    targets = default_targets(
+        args.workload or None, scale=args.scale, model=args.model
+    )
     result = run_chaos(targets, plans, executor=_sweep_executor(args))
     summary = frpt.summarize(result)
     if args.json:
@@ -643,6 +739,8 @@ def _cmd_bench(args) -> int:
 
     if args.engine is not None:
         os.environ["REPRO_ENGINE"] = args.engine
+    if args.model is not None:
+        os.environ["REPRO_MODEL"] = args.model
 
     def sweep():
         executor = SweepExecutor(jobs=1, cache=None)
@@ -676,7 +774,10 @@ def _cmd_bench(args) -> int:
         args.target,
         seconds,
         warmup=args.warmup,
-        extra={"scale": args.scale},
+        extra={
+            "scale": args.scale,
+            "model": args.model or os.environ.get("REPRO_MODEL", "base"),
+        },
     )
     path = bench.write_bench_json(payload, out=args.out)
     print(
@@ -846,6 +947,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator core (default: $REPRO_ENGINE or ref)",
     )
     p_run.add_argument(
+        "--model", choices=("base", "rc", "sisd"), default=None,
+        help="memory model for software-coherent configs "
+        "(default: $REPRO_MODEL or base; HCC configs always run MESI)",
+    )
+    p_run.add_argument(
         "--staleness",
         action="store_true",
         help="run with the stale-read detector (Model-1 workloads); "
@@ -874,6 +980,12 @@ def build_parser() -> argparse.ArgumentParser:
                 "--engine", choices=("ref", "fast"), default=None,
                 help="simulator core, exported as $REPRO_ENGINE so worker "
                 "processes inherit it (default: $REPRO_ENGINE or ref)",
+            )
+            p.add_argument(
+                "--model", choices=("base", "rc", "sisd"), default=None,
+                help="memory model for the software-coherent cells, "
+                "exported as $REPRO_MODEL (default: base); the result "
+                "cache keys on it",
             )
             p.add_argument(
                 "--jobs", type=int, default=None,
@@ -955,6 +1067,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulator core, exported as $REPRO_ENGINE (default: ref)",
     )
     p_chaos.add_argument(
+        "--model", choices=("base", "rc", "sisd"), default=None,
+        help="memory model for the software-coherent chaos cells "
+        "(default: base); HCC reference cells are unaffected",
+    )
+    p_chaos.add_argument(
         "--jobs", type=int, default=None,
         help="parallel sweep workers (default: CPU count; 1 = serial)",
     )
@@ -975,6 +1092,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the injectable fault kinds and exit",
     )
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_lit = sub.add_parser(
+        "litmus",
+        help="run litmus kernels; --matrix is the memory-model "
+        "conformance grid",
+        description=(
+            "Run targeted litmus kernels through the sweep machinery.  "
+            "Without --matrix, run the named kernels (default: all) once "
+            "under the selected memory model and apply each kernel's "
+            "self-checking oracle.  With --matrix, run every selected "
+            "(model x kernel x engine) cell through one cached sweep "
+            "batch, digest-compare each cell against the hardware-"
+            "coherent oracle, and print the verdict grid; exit 1 on any "
+            "verdict that disagrees with the documented expectation "
+            "table (docs/MEMORY_MODELS.md)."
+        ),
+    )
+    p_lit.add_argument(
+        "kernel", nargs="*",
+        help="litmus kernel names (default: every registered kernel)",
+    )
+    p_lit.add_argument(
+        "--matrix", action="store_true",
+        help="run the (model x kernel x engine) conformance grid",
+    )
+    p_lit.add_argument(
+        "--model", choices=("base", "hcc", "rc", "sisd"), default=None,
+        help="memory model for direct runs "
+        "(default: $REPRO_MODEL or base; ignored with --matrix)",
+    )
+    p_lit.add_argument(
+        "--models", default=None, metavar="NAME,NAME",
+        help="matrix: comma-separated model axis "
+        "(default: base,hcc,rc,sisd)",
+    )
+    p_lit.add_argument(
+        "--engine", choices=("ref", "fast"), default=None,
+        help="simulator core for direct runs "
+        "(default: $REPRO_ENGINE or ref; ignored with --matrix)",
+    )
+    p_lit.add_argument(
+        "--engines", default=None, metavar="NAME,NAME",
+        help="matrix: comma-separated engine axis (default: ref,fast)",
+    )
+    p_lit.add_argument(
+        "--jobs", type=int, default=None,
+        help="matrix: parallel sweep workers (default: CPU count)",
+    )
+    p_lit.add_argument(
+        "--no-cache", action="store_true",
+        help="matrix: always simulate; do not touch the result cache",
+    )
+    p_lit.add_argument(
+        "--clear-cache", action="store_true",
+        help="matrix: empty the result cache before running",
+    )
+    p_lit.add_argument(
+        "--json", action="store_true",
+        help="matrix: print the grid document as JSON instead of text",
+    )
+    p_lit.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="matrix: also write the grid JSON to PATH (the CI artifact)",
+    )
+    p_lit.add_argument(
+        "--bench", action="store_true",
+        help="matrix: archive wall-clock + per-model exec medians to "
+        "BENCH_matrix.json at the repo root",
+    )
+    p_lit.set_defaults(fn=_cmd_litmus)
 
     p_bench = sub.add_parser(
         "bench",
@@ -997,6 +1184,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--engine", choices=("ref", "fast"), default=None,
         help="simulator core (default: $REPRO_ENGINE or ref)",
+    )
+    p_bench.add_argument(
+        "--model", choices=("base", "rc", "sisd"), default=None,
+        help="memory model, exported as $REPRO_MODEL (default: base)",
     )
     p_bench.add_argument("--scale", type=float, default=1.0)
     p_bench.add_argument(
@@ -1295,6 +1486,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--config", default=None,
         help="Table II config to analyze under (default: Base intra, "
         "Addr inter; HCC is rejected — nothing to lint)",
+    )
+    p_lint.add_argument(
+        "--model", choices=("base", "rc", "sisd"), default="base",
+        help="memory model whose lint profile parameterizes the rule "
+        "catalog: findings of rules that model discharges in the "
+        "protocol are waived (default: base; litmus expectations are "
+        "documented for base)",
     )
     p_lint.add_argument("--scale", type=float, default=0.5)
     p_lint.add_argument(

@@ -1,8 +1,9 @@
 """Machine assembly: parameters + configuration → runnable simulation.
 
 A :class:`Machine` wires together the event engine, the physical hierarchy,
-the selected protocol (incoherent or directory MESI per the Table II
-configuration), the synchronization controller, the shared address space,
+the selected protocol (a registered memory model from :mod:`repro.models`;
+hardware-coherent Table II configurations always select directory MESI),
+the synchronization controller, the shared address space,
 and one CPU per spawned thread.  ``run()`` drives the event loop to
 completion, records the execution time, then flushes caches (untimed, with
 traffic accounting frozen) so callers can verify results in main memory.
@@ -13,8 +14,6 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.coherence.hierarchy import Hierarchy
-from repro.coherence.incoherent import IncoherentProtocol
-from repro.coherence.mesi import MESIProtocol
 from repro.coherence.threadmap import ThreadMapTable
 from repro.common.errors import ConfigError
 from repro.common.params import MachineParams
@@ -47,8 +46,10 @@ class Machine:
         metrics=None,
         faults=None,
         engine: str | None = None,
+        model: str | None = None,
     ) -> None:
         from repro.engines import resolve_engine
+        from repro.models import resolve_model
 
         self.params = params
         self.config = config
@@ -85,19 +86,25 @@ class Machine:
         self.space = AddressSpace(line_bytes=params.line_bytes)
         self.annotator = Annotator(config)
 
+        #: Selected memory model (:mod:`repro.models`): ``model`` names a
+        #: registered :class:`~repro.models.ModelSpec` (``None`` falls back
+        #: to ``$REPRO_MODEL``, then ``base``).  Hardware-coherent Table II
+        #: configurations always resolve to ``hcc`` — MESI *is* the model
+        #: those configurations name, so sweeps can pass one model id to
+        #: every cell, HCC reference cells included.
         if config.hardware_coherent:
-            self.protocol = MESIProtocol(self.hier)
+            self.model_spec = resolve_model("hcc")
         else:
-            threadmap = (
-                ThreadMapTable(placement) if params.num_blocks > 1 else None
-            )
-            self.protocol = IncoherentProtocol(
-                self.hier,
-                use_meb=config.use_meb,
-                use_ieb=config.use_ieb,
-                threadmap=threadmap,
-                detect_staleness=detect_staleness,
-            )
+            self.model_spec = resolve_model(model)
+        threadmap = (
+            ThreadMapTable(placement) if params.num_blocks > 1 else None
+        )
+        self.protocol = self.model_spec.factory(
+            self.hier,
+            config,
+            threadmap=threadmap,
+            detect_staleness=detect_staleness,
+        )
         self.protocol.tracer = tracer
         self.protocol.metrics = metrics
         self.sync = SyncController(

@@ -67,7 +67,9 @@ class FastCPU(CPU):
             return self._step_incoherent(proto)
         if type(proto) is MESIProtocol:
             return self._step_mesi(proto)
-        return CPU._step(self)  # pragma: no cover - unknown protocol
+        # Subclassed protocols (rc, sisd — see repro/models/) override hook
+        # methods the packed loops bypass, so they take the reference loop.
+        return CPU._step(self)
 
     # -- incoherent fast loop ----------------------------------------------
 

@@ -56,7 +56,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel → cache)
 #: Bump when the on-disk payload layout changes; invalidates old entries.
 #: 2: litmus cells, fault_plan digest, MEB/IEB counters in MachineStats.
 #: 3: embedded sha256 payload checksum, verified on every load.
-CACHE_SCHEMA = 3
+#: 4: memory-model axis (effective model id in the key) and the per-model
+#:    degradation counters in MachineStats.
+CACHE_SCHEMA = 4
 
 
 class CacheIntegrityError(ValueError):
@@ -77,9 +79,21 @@ def describe_cell(cell: "SweepCell") -> dict:
     This is the exact payload the cache key hashes; it is also archived in
     each entry so users can inspect why a cell did (not) hit.
     """
+    from repro.models import DEFAULT_MODEL, MODEL_ENV_VAR
+
     kwargs = dict(cell.kwargs)
     machine = kwargs.pop("machine_params", None)
     plan = kwargs.pop("faults", None)
+    # The *effective* memory model, resolved the way Machine resolves it
+    # (explicit kwarg, then $REPRO_MODEL, then the default) — unlike the
+    # engine, models legitimately produce different statistics, so the key
+    # must separate them.  Hardware-coherent configurations always run
+    # MESI, so they all key as "hcc" regardless of the requested model.
+    model = kwargs.pop("model", None)
+    if cell.config.hardware_coherent:
+        model = "hcc"
+    elif model is None:
+        model = os.environ.get(MODEL_ENV_VAR) or DEFAULT_MODEL
     if cell.kind == "intra":
         num_threads = kwargs.pop("num_threads", 16)
         params = machine or intra_block_machine(num_threads)
@@ -117,6 +131,7 @@ def describe_cell(cell: "SweepCell") -> dict:
         "config": dataclasses.asdict(cell.config),
         "machine": dataclasses.asdict(params),
         "geometry": geometry,
+        "memory_model": model,
         "scale": kwargs.pop("scale", 1.0),
         "verify": kwargs.pop("verify", True),
         # The armed fault plan changes every timing statistic, so its digest

@@ -119,6 +119,7 @@ def run_intra(
     faults=None,
     memory_digest: bool = False,
     engine: str | None = None,
+    model: str | None = None,
 ) -> RunResult:
     """Run a Model-1 (SPLASH) workload on the intra-block machine.
 
@@ -128,6 +129,8 @@ def run_intra(
     :class:`repro.faults.model.FaultPlan` for the run (degraded timing,
     identical values); ``memory_digest=True`` fingerprints main memory
     after the run so chaos harnesses can compare images across runs.
+    ``model`` selects the registered memory model (:mod:`repro.models`,
+    default ``$REPRO_MODEL`` then ``base``).
     """
     if app not in MODEL_ONE:
         raise ConfigError(f"unknown Model-1 workload {app!r}")
@@ -135,7 +138,7 @@ def run_intra(
     injector = _make_injector(faults)
     machine = Machine(
         params, config, num_threads=num_threads, tracer=tracer, metrics=metrics,
-        faults=injector, engine=engine,
+        faults=injector, engine=engine, model=model,
     )
     workload = MODEL_ONE[app](scale=scale)
     if verify:
@@ -160,6 +163,7 @@ def run_inter(
     faults=None,
     memory_digest: bool = False,
     engine: str | None = None,
+    model: str | None = None,
 ) -> RunResult:
     """Run a Model-2 (NAS/Jacobi) workload on the inter-block machine.
 
@@ -172,7 +176,7 @@ def run_inter(
     injector = _make_injector(faults)
     machine = Machine(
         params, config, num_threads=params.num_cores, tracer=tracer,
-        metrics=metrics, faults=injector, engine=engine,
+        metrics=metrics, faults=injector, engine=engine, model=model,
     )
     workload = MODEL_TWO[app](scale=scale)
     if verify:
@@ -194,6 +198,7 @@ def run_litmus(
     faults=None,
     memory_digest: bool = False,
     engine: str | None = None,
+    model: str | None = None,
 ) -> RunResult:
     """Run one litmus kernel (``repro.workloads.litmus``) as a sweep cell.
 
@@ -213,7 +218,7 @@ def run_litmus(
     injector = _make_injector(faults)
     machine = Machine(
         params, config, num_threads=kernel.threads, tracer=tracer,
-        metrics=metrics, faults=injector, engine=engine,
+        metrics=metrics, faults=injector, engine=engine, model=model,
     )
     arrs, obs = spawn_litmus(kernel, machine)
     stats = machine.run()

@@ -113,6 +113,10 @@ class ChaosTarget:
     config: ExperimentConfig
     reference: ExperimentConfig
     kwargs: tuple[tuple[str, Any], ...] = ()
+    #: Memory model (:mod:`repro.models`) the software-coherent runs use;
+    #: ``None`` leaves the Machine default.  The HCC reference cell never
+    #: carries it — hardware-coherent configurations always run MESI.
+    model: str | None = None
 
     @property
     def label(self) -> str:
@@ -123,12 +127,14 @@ class ChaosTarget:
         kwargs = dict(self.kwargs)
         if plan is not None:
             kwargs["faults"] = plan
+        if self.model is not None and not config.hardware_coherent:
+            kwargs["model"] = self.model
         return SweepCell.make(
             self.kind, self.app, config, memory_digest=True, **kwargs
         )
 
 
-def _litmus_targets() -> list[ChaosTarget]:
+def _litmus_targets(model: str | None = None) -> list[ChaosTarget]:
     from repro.workloads.litmus import LITMUS
 
     out = []
@@ -139,12 +145,17 @@ def _litmus_targets() -> list[ChaosTarget]:
             config, reference = INTER_ADDR_L, INTER_HCC
         else:
             config, reference = INTRA_BMI, INTRA_HCC
-        out.append(ChaosTarget("litmus", kernel.name, config, reference))
+        out.append(
+            ChaosTarget("litmus", kernel.name, config, reference, model=model)
+        )
     return out
 
 
 def default_targets(
-    workloads: Sequence[str] | None = None, *, scale: float = 0.5
+    workloads: Sequence[str] | None = None,
+    *,
+    scale: float = 0.5,
+    model: str | None = None,
 ) -> list[ChaosTarget]:
     """Resolve workload tokens into chaos targets.
 
@@ -152,6 +163,7 @@ def default_targets(
     the :func:`tiny_pressure_machine`), a Model-1 or Model-2 workload name,
     or a litmus kernel name.  ``None`` selects the full default matrix:
     litmus + the safe SPLASH/NAS workloads + the pressure target.
+    ``model`` selects the memory model the software-coherent runs use.
     """
     from repro.workloads import MODEL_ONE, MODEL_TWO
     from repro.workloads.litmus import LITMUS
@@ -163,7 +175,7 @@ def default_targets(
     targets: list[ChaosTarget] = []
     for token in workloads:
         if token == TOKEN_LITMUS:
-            targets.extend(_litmus_targets())
+            targets.extend(_litmus_targets(model))
         elif token == TOKEN_TINY:
             # lu_cont's working set overflows the 512-byte caches even at
             # half scale, so dirty L2 victims spill to memory mid-run.
@@ -176,13 +188,14 @@ def default_targets(
                         machine_params=tiny_pressure_machine(),
                         scale=scale,
                     ).kwargs,
+                    model=model,
                 )
             )
         elif token in MODEL_ONE:
             targets.append(
                 ChaosTarget(
                     "intra", token, INTRA_BMI, INTRA_HCC,
-                    (("scale", scale),),
+                    (("scale", scale),), model=model,
                 )
             )
         elif token in MODEL_TWO:
@@ -190,6 +203,7 @@ def default_targets(
                 ChaosTarget(
                     "inter", token, INTER_ADDR_L, INTER_HCC,
                     (("cores_per_block", 4), ("num_blocks", 2), ("scale", scale)),
+                    model=model,
                 )
             )
         elif token in LITMUS:
@@ -198,7 +212,9 @@ def default_targets(
                 config, reference = INTER_ADDR_L, INTER_HCC
             else:
                 config, reference = INTRA_BMI, INTRA_HCC
-            targets.append(ChaosTarget("litmus", token, config, reference))
+            targets.append(
+                ChaosTarget("litmus", token, config, reference, model=model)
+            )
         else:
             raise ConfigError(f"unknown chaos workload {token!r}")
     return targets
@@ -314,6 +330,7 @@ def run_default_chaos(
     kinds=None,
     workloads: Sequence[str] | None = None,
     scale: float = 0.5,
+    model: str | None = None,
     executor: SweepExecutor | None = None,
 ) -> ChaosResult:
     """Convenience wrapper: default targets × ``num_plans`` random plans."""
@@ -322,5 +339,5 @@ def run_default_chaos(
     plans = random_plans(
         num_plans, seed=DEFAULT_SEED if seed is None else seed, kinds=kinds
     )
-    targets = default_targets(workloads, scale=scale)
+    targets = default_targets(workloads, scale=scale, model=model)
     return run_chaos(targets, plans, executor=executor)

@@ -1,0 +1,362 @@
+"""The memory-model litmus matrix (``repro litmus --matrix``).
+
+One batch of sweep cells runs every selected litmus kernel under every
+registered memory model and every simulator engine, digests final main
+memory per cell, and compares each digest against the hardware-coherent
+(MESI) oracle run of the same kernel.  The verdict grid is the repo's
+*model conformance* artifact: registered software models must be
+bit-identical to HCC on every determinate kernel, and the deliberately
+broken kernels document exactly which models each bug defeats.
+
+Verdicts compare **final main memory** (the :func:`repro.mem.memory.image_digest`
+fingerprint after the end-of-run verification flush), not observed load
+values.  That is why three of the four broken kernels converge under every
+model: their stale reads corrupt observations, but the closing flush still
+pushes each thread's last write down, so the final image matches.  The one
+broken kernel whose bug reaches main memory —
+``lock_handoff_three_threads_broken``, a lost-update race — diverges under
+``base`` and ``rc`` but *matches* under ``sisd``: the first remote touch of
+a still-private dirty line triggers SISD's ownership-transition recovery,
+which pushes the owner's copy down before the other thread reads it.
+:data:`EXPECTED_DIVERGENCES` encodes these empirical facts; any cell whose
+verdict disagrees with the table is *unexpected* and fails the matrix.
+
+Every cell flows through one :class:`~repro.eval.parallel.SweepExecutor`
+batch, so the matrix inherits process-pool fan-out, per-cell timeouts, and
+the persistent result cache (which keys on the model id — see
+``repro.eval.cache``).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.common.errors import ConfigError
+from repro.core.config import INTER_ADDR_L, INTER_HCC, INTRA_BMI, INTRA_HCC
+
+#: Grid schema version for the ``--json`` artifact.
+MATRIX_SCHEMA = 1
+
+#: Default model axis: every registered model, registry order.
+DEFAULT_MODELS = ("base", "hcc", "rc", "sisd")
+
+#: Default engine axis: both registered simulator cores.
+DEFAULT_ENGINES = ("ref", "fast")
+
+#: (model, kernel) pairs whose final-memory digest is *expected* to diverge
+#: from the HCC oracle.  Everything else — determinate kernels under every
+#: model, and broken kernels whose damage stays in observed values — is
+#: expected to match.  See the module docstring for why the set is so small.
+EXPECTED_DIVERGENCES: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("base", "lock_handoff_three_threads_broken"),
+        ("rc", "lock_handoff_three_threads_broken"),
+    }
+)
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (model × kernel × engine) point of the verdict grid."""
+
+    model: str
+    kernel: str
+    engine: str
+    verdict: str  # "match" | "diverge"
+    expected: str  # "match" | "diverge"
+    exec_time: int
+    digest: str
+
+    @property
+    def unexpected(self) -> bool:
+        """True when the verdict disagrees with the expectation table."""
+        return self.verdict != self.expected
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "expected": self.expected,
+            "unexpected": self.unexpected,
+            "exec_time": self.exec_time,
+            "digest": self.digest,
+        }
+
+
+@dataclass
+class MatrixResult:
+    """The full grid plus the per-kernel oracle digests."""
+
+    models: tuple[str, ...]
+    kernels: tuple[str, ...]
+    engines: tuple[str, ...]
+    cells: list[MatrixCell]
+    oracle: dict[str, str] = field(default_factory=dict)
+    sweep_summary: str = ""
+
+    def cell(self, model: str, kernel: str, engine: str) -> MatrixCell:
+        for c in self.cells:
+            if (c.model, c.kernel, c.engine) == (model, kernel, engine):
+                return c
+        raise KeyError((model, kernel, engine))
+
+    def unexpected(self) -> list[MatrixCell]:
+        """Cells whose verdict disagrees with :data:`EXPECTED_DIVERGENCES`."""
+        return [c for c in self.cells if c.unexpected]
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell matched its expectation."""
+        return not self.unexpected()
+
+    def model_exec_medians(self) -> dict[str, int]:
+        """Per-model median simulated exec time across the grid (cycles)."""
+        per: dict[str, list[int]] = {m: [] for m in self.models}
+        for c in self.cells:
+            per[c.model].append(c.exec_time)
+        return {
+            m: int(statistics.median(times)) for m, times in per.items() if times
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-safe grid: ``grid[model][kernel][engine]`` plus summaries."""
+        grid: dict[str, dict[str, dict[str, dict]]] = {}
+        for c in self.cells:
+            grid.setdefault(c.model, {}).setdefault(c.kernel, {})[
+                c.engine
+            ] = c.to_dict()
+        return {
+            "schema": MATRIX_SCHEMA,
+            "models": list(self.models),
+            "kernels": list(self.kernels),
+            "engines": list(self.engines),
+            "grid": grid,
+            "oracle": dict(self.oracle),
+            "unexpected": [
+                {
+                    "model": c.model,
+                    "kernel": c.kernel,
+                    "engine": c.engine,
+                    "verdict": c.verdict,
+                    "expected": c.expected,
+                }
+                for c in self.unexpected()
+            ],
+            "model_exec_medians": self.model_exec_medians(),
+            "ok": self.ok,
+            "sweep": self.sweep_summary,
+        }
+
+
+def _validate_axes(
+    models: Sequence[str] | None,
+    kernels: Sequence[str] | None,
+    engines: Sequence[str] | None,
+) -> tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]]:
+    from repro.engines import resolve_engine
+    from repro.models import resolve_model
+    from repro.workloads.litmus import LITMUS
+
+    models = tuple(models) if models else DEFAULT_MODELS
+    for m in models:
+        resolve_model(m)  # raises ConfigError on unknown names
+    if len(set(models)) != len(models):
+        raise ConfigError("duplicate model in matrix axis")
+    kernels = tuple(kernels) if kernels else tuple(LITMUS)
+    for k in kernels:
+        if k not in LITMUS:
+            raise ConfigError(f"unknown litmus kernel {k!r}")
+    engines = tuple(engines) if engines else DEFAULT_ENGINES
+    for e in engines:
+        resolve_engine(e)
+    return models, kernels, engines
+
+
+def matrix_cells(
+    models: Sequence[str],
+    kernels: Sequence[str],
+    engines: Sequence[str],
+):
+    """Lower the grid to one deduplicated batch of sweep cells.
+
+    Returns ``(cells, oracle_idx, grid_idx)`` where ``oracle_idx[kernel]``
+    and ``grid_idx[(model, kernel, engine)]`` index into ``cells``.  The
+    oracle — each kernel under its hardware-coherent configuration on the
+    reference engine — rides in the *same* batch (deduplicated against the
+    grid's own ``hcc``/``ref`` cells when present), so a cached or pooled
+    run prices the whole matrix identically.  The serve layer feeds these
+    cells to its own executor and folds results via
+    :func:`assemble_matrix`; :func:`run_matrix` is the direct path.
+    """
+    from repro.eval.parallel import SweepCell
+    from repro.workloads.litmus import LITMUS
+
+    cells: list = []
+    index_of: dict = {}
+
+    def add(cell) -> int:
+        if cell not in index_of:
+            index_of[cell] = len(cells)
+            cells.append(cell)
+        return index_of[cell]
+
+    def make(kernel: str, model: str, engine: str):
+        inter = LITMUS[kernel].model == "inter"
+        if model == "hcc":
+            config = INTER_HCC if inter else INTRA_HCC
+        else:
+            config = INTER_ADDR_L if inter else INTRA_BMI
+        return SweepCell.make(
+            "litmus",
+            kernel,
+            config,
+            verify=False,
+            memory_digest=True,
+            model=model,
+            engine=engine,
+        )
+
+    oracle_idx = {k: add(make(k, "hcc", "ref")) for k in kernels}
+    grid_idx = {
+        (m, k, e): add(make(k, m, e))
+        for m in models
+        for k in kernels
+        for e in engines
+    }
+    return cells, oracle_idx, grid_idx
+
+
+def assemble_matrix(
+    models: Sequence[str],
+    kernels: Sequence[str],
+    engines: Sequence[str],
+    oracle_idx: dict,
+    grid_idx: dict,
+    results: list,
+    *,
+    sweep_summary: str = "",
+) -> MatrixResult:
+    """Fold the batch results of :func:`matrix_cells` into a grid."""
+    oracle = {k: results[i].memory_digest for k, i in oracle_idx.items()}
+    out: list[MatrixCell] = []
+    for (m, k, e), i in grid_idx.items():
+        r = results[i]
+        verdict = "match" if r.memory_digest == oracle[k] else "diverge"
+        expected = (
+            "diverge" if (m, k) in EXPECTED_DIVERGENCES else "match"
+        )
+        out.append(
+            MatrixCell(
+                model=m,
+                kernel=k,
+                engine=e,
+                verdict=verdict,
+                expected=expected,
+                exec_time=r.exec_time,
+                digest=r.memory_digest,
+            )
+        )
+    return MatrixResult(
+        models=tuple(models),
+        kernels=tuple(kernels),
+        engines=tuple(engines),
+        cells=out,
+        oracle=oracle,
+        sweep_summary=sweep_summary,
+    )
+
+
+def run_matrix(
+    models: Sequence[str] | None = None,
+    kernels: Sequence[str] | None = None,
+    engines: Sequence[str] | None = None,
+    *,
+    jobs: int | None = None,
+    executor=None,
+) -> MatrixResult:
+    """Run the (model × kernel × engine) grid through one sweep batch."""
+    from repro.eval.parallel import SweepExecutor
+
+    models, kernels, engines = _validate_axes(models, kernels, engines)
+    executor = executor or SweepExecutor(jobs=jobs)
+    cells, oracle_idx, grid_idx = matrix_cells(models, kernels, engines)
+    results = executor.run_cells(cells)
+    return assemble_matrix(
+        models, kernels, engines, oracle_idx, grid_idx, results,
+        sweep_summary=executor.stats.summary(),
+    )
+
+
+def render_matrix(result: MatrixResult) -> str:
+    """Text grid: one row per kernel, one column per model.
+
+    Each cell shows one glyph per engine (axis order): ``=`` digest matches
+    the HCC oracle, ``x`` expected divergence, ``!`` unexpected verdict.
+    """
+    def glyph(c: MatrixCell) -> str:
+        if c.unexpected:
+            return "!"
+        return "=" if c.verdict == "match" else "x"
+
+    by_key = {(c.model, c.kernel, c.engine): c for c in result.cells}
+    name_w = max(len("kernel"), max((len(k) for k in result.kernels), default=0))
+    col_w = max(
+        len(result.engines) + 1,
+        max((len(m) for m in result.models), default=0) + 1,
+    )
+    lines = [
+        "memory-model litmus matrix "
+        f"({len(result.models)} model(s) x {len(result.kernels)} kernel(s) "
+        f"x {len(result.engines)} engine(s); "
+        f"glyph per engine {'/'.join(result.engines)}: "
+        "'=' match, 'x' expected divergence, '!' unexpected)",
+        "kernel".ljust(name_w)
+        + "".join(m.rjust(col_w) for m in result.models),
+    ]
+    for k in result.kernels:
+        row = k.ljust(name_w)
+        for m in result.models:
+            glyphs = "".join(
+                glyph(by_key[(m, k, e)]) for e in result.engines
+            )
+            row += glyphs.rjust(col_w)
+        lines.append(row)
+    medians = result.model_exec_medians()
+    lines.append(
+        "median exec (cycles): "
+        + ", ".join(f"{m}={medians[m]}" for m in result.models if m in medians)
+    )
+    bad = result.unexpected()
+    if bad:
+        lines.append(f"UNEXPECTED verdicts: {len(bad)}")
+        for c in bad:
+            lines.append(
+                f"  {c.model} x {c.kernel} x {c.engine}: "
+                f"{c.verdict} (expected {c.expected})"
+            )
+    else:
+        lines.append("all verdicts as expected")
+    lines.append(result.sweep_summary)
+    return "\n".join(lines)
+
+
+def matrix_bench_payload(
+    result: MatrixResult, seconds: list[float], *, warmup: int = 0
+) -> dict:
+    """``BENCH_matrix.json`` payload: wall clock + per-model exec medians."""
+    from repro.eval.bench import record
+
+    return record(
+        "matrix",
+        seconds,
+        warmup=warmup,
+        extra={
+            "models": list(result.models),
+            "kernels": len(result.kernels),
+            "engines": list(result.engines),
+            "cells": len(result.cells),
+            "model_exec_medians": result.model_exec_medians(),
+            "ok": result.ok,
+        },
+    )

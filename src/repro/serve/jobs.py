@@ -149,6 +149,18 @@ def _engine(spec: dict) -> str | None:
     return engine
 
 
+def _model(spec: dict) -> str | None:
+    model = _get(spec, "model", None, types=str)
+    if model is not None:
+        from repro.models import available_models
+
+        _expect(
+            model in available_models(),
+            f"spec.model must be one of {'|'.join(available_models())}",
+        )
+    return model
+
+
 def _name_list(spec: dict, name: str, *, default=None) -> list[str]:
     values = _get(spec, name, default, types=list)
     if values is None:
@@ -274,9 +286,18 @@ def _compile_gen(spec: dict) -> CompiledJob:
 
 
 def _compile_litmus(spec: dict) -> CompiledJob:
-    """``litmus``: registry kernels under their default chaos configs."""
+    """``litmus``: registry kernels under their default chaos configs.
+
+    With ``spec.matrix: true``, instead compile the memory-model
+    conformance grid (``repro litmus --matrix``): every selected
+    (model × kernel × engine) cell plus the hardware-coherent oracle
+    cells, folded into the verdict-grid document of
+    :mod:`repro.models.matrix`.
+    """
     from repro.workloads.litmus import LITMUS
 
+    if _get(spec, "matrix", False, types=bool):
+        return _compile_litmus_matrix(spec)
     if _get(spec, "all", False, types=bool):
         kernels = list(LITMUS)
     else:
@@ -284,12 +305,15 @@ def _compile_litmus(spec: dict) -> CompiledJob:
     for name in kernels:
         _expect(name in LITMUS, f"unknown litmus kernel {name!r}")
     engine = _engine(spec)
+    model = _model(spec)
     units = []
     for name in kernels:
         config = INTER_ADDR_L if LITMUS[name].model == "inter" else INTRA_BMI
         kwargs: dict[str, Any] = {"memory_digest": True}
         if engine is not None:
             kwargs["engine"] = engine
+        if model is not None:
+            kwargs["model"] = model
         units.append(
             Unit(
                 f"litmus:{name}/{config.name}",
@@ -307,6 +331,54 @@ def _compile_litmus(spec: dict) -> CompiledJob:
 
     return CompiledJob(
         "litmus", spec, units, finalize, f"{len(kernels)} litmus kernel(s)"
+    )
+
+
+def _compile_litmus_matrix(spec: dict) -> CompiledJob:
+    """``litmus`` + ``matrix: true``: the memory-model verdict grid."""
+    from repro.models.matrix import (
+        DEFAULT_ENGINES,
+        DEFAULT_MODELS,
+        assemble_matrix,
+        matrix_cells,
+    )
+    from repro.workloads.litmus import LITMUS
+
+    models = _name_list(spec, "models", default=None) or list(DEFAULT_MODELS)
+    engines = _name_list(spec, "engines", default=None) or list(
+        DEFAULT_ENGINES
+    )
+    kernels = _name_list(spec, "kernels", default=None) or list(LITMUS)
+    from repro.models import available_models
+
+    for m in models:
+        _expect(m in available_models(), f"unknown memory model {m!r}")
+    for e in engines:
+        _expect(e in ("ref", "fast"), "spec.engines must be ref|fast")
+    for k in kernels:
+        _expect(k in LITMUS, f"unknown litmus kernel {k!r}")
+    cells, oracle_idx, grid_idx = matrix_cells(models, kernels, engines)
+    units = [
+        Unit(
+            f"matrix:{cell.app}/{cell.config.name}"
+            f"/{dict(cell.kwargs).get('model')}"
+            f"/{dict(cell.kwargs).get('engine')}",
+            cell=cell,
+        )
+        for cell in cells
+    ]
+
+    def finalize(results: list) -> dict:
+        doc = assemble_matrix(
+            models, kernels, engines, oracle_idx, grid_idx, results
+        ).to_dict()
+        doc["kind"] = "litmus"
+        return doc
+
+    return CompiledJob(
+        "litmus", spec, units, finalize,
+        f"model matrix: {len(models)} model(s) x {len(kernels)} "
+        f"kernel(s) x {len(engines)} engine(s)",
     )
 
 

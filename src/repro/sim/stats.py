@@ -108,6 +108,18 @@ class MachineStats:
     meb_wb_fallbacks: int = 0
     ieb_evictions: int = 0
     ieb_redundant_invalidations: int = 0
+    #: Per-model degradation counters (:mod:`repro.models`).  Regional
+    #: Consistency: ``rc_region_wb_lines`` counts lines flushed by
+    #: region-scoped WB ALLs, ``rc_lazy_refreshes`` counts reads that paid
+    #: a deferred acquire invalidation.  SISD: ``sisd_transitions`` counts
+    #: private→shared classifier flips, ``sisd_self_downgrades`` /
+    #: ``sisd_self_invalidations`` count shared lines written back /
+    #: dropped at synchronization points.  All zero under other models.
+    rc_region_wb_lines: int = 0
+    rc_lazy_refreshes: int = 0
+    sisd_transitions: int = 0
+    sisd_self_downgrades: int = 0
+    sisd_self_invalidations: int = 0
     exec_time: int = 0
     #: When True, traffic accounting is suspended (set before the end-of-run
     #: cache flush so verification writebacks do not pollute Figure 10).
@@ -184,5 +196,10 @@ class MachineStats:
             "local_inv_lines": self.local_inv_lines,
             "dir_invalidations": self.dir_invalidations,
             "dir_forwards": self.dir_forwards,
+            "rc_region_wb_lines": self.rc_region_wb_lines,
+            "rc_lazy_refreshes": self.rc_lazy_refreshes,
+            "sisd_transitions": self.sisd_transitions,
+            "sisd_self_downgrades": self.sisd_self_downgrades,
+            "sisd_self_invalidations": self.sisd_self_invalidations,
             "total_flits": self.total_flits,
         }

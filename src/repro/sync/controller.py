@@ -48,6 +48,13 @@ class SyncController:
         self._locks: dict[int, LockState] = {}
         self._barriers: dict[int, BarrierState] = {}
         self._flags: dict[int, FlagState] = {}
+        # Per-(lid, core) arrival floor enforcing FIFO delivery on each
+        # core's lock-message channel.  Release is fire-and-forget, so
+        # without this a jittered release (armed fault runs) could be
+        # overtaken in flight by the same core's next acquire and trip the
+        # non-reentrancy check.  Fault-free runs give every message on a
+        # channel the same travel time, so the clamp never binds there.
+        self._lock_channel_floor: dict[tuple[int, int], int] = {}
         machine = mesh.machine
         self._at_l3 = machine.num_l3_banks > 0
         self._num_banks = machine.num_l3_banks if self._at_l3 else machine.num_cores
@@ -140,8 +147,19 @@ class SyncController:
 
         self.engine.schedule(travel, at_controller)
 
+    def _lock_travel(self, core: int, lid: int, travel: int) -> int:
+        """Clamp *travel* so (core -> lock lid) messages arrive in order."""
+        arrival = max(
+            self.engine.now + travel,
+            self._lock_channel_floor.get((lid, core), 0),
+        )
+        self._lock_channel_floor[(lid, core)] = arrival
+        return arrival - self.engine.now
+
     def lock_acquire(self, core: int, lid: int, resume: Callable[[], None]) -> None:
-        travel = self._one_way(core, lid) + SERVICE_CYCLES
+        travel = self._lock_travel(
+            core, lid, self._one_way(core, lid) + SERVICE_CYCLES
+        )
         self._count_msg()
         self._obs_request("lock_acquire")
 
@@ -156,7 +174,9 @@ class SyncController:
         self.engine.schedule(travel, at_controller)
 
     def lock_release(self, core: int, lid: int, resume: Callable[[], None]) -> None:
-        travel = self._one_way(core, lid) + SERVICE_CYCLES
+        travel = self._lock_travel(
+            core, lid, self._one_way(core, lid) + SERVICE_CYCLES
+        )
         self._count_msg()
         self._obs_request("lock_release")
 

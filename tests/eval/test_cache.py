@@ -53,8 +53,33 @@ class TestCacheKey:
     def test_describe_cell_names_the_invalidating_fields(self):
         d = describe_cell(cell())
         for field in ("schema", "version", "kind", "app", "config", "machine",
-                      "geometry", "scale", "verify"):
+                      "geometry", "scale", "verify", "memory_model"):
             assert field in d
+
+    def test_key_varies_with_memory_model(self):
+        assert cell_key(cell(model="rc")) != cell_key(cell())
+        assert cell_key(cell(model="rc")) != cell_key(cell(model="sisd"))
+
+    def test_default_model_hashes_like_explicit_base(self):
+        # model=None resolves to the base model, so both spellings must
+        # address the same entry.
+        assert cell_key(cell(model="base")) == cell_key(cell())
+
+    def test_hcc_config_coerces_model_key(self):
+        # Hardware-coherent configurations always run MESI: the requested
+        # model is irrelevant to the result, so it must not split the key.
+        assert cell_key(cell(config=INTRA_HCC, model="rc")) == cell_key(
+            cell(config=INTRA_HCC)
+        )
+        assert describe_cell(cell(config=INTRA_HCC))["memory_model"] == "hcc"
+
+    def test_env_model_resolves_into_key(self, monkeypatch):
+        from repro.models import MODEL_ENV_VAR
+
+        monkeypatch.setenv(MODEL_ENV_VAR, "rc")
+        assert cell_key(cell()) == cell_key(cell(model="rc"))
+        monkeypatch.delenv(MODEL_ENV_VAR)
+        assert cell_key(cell()) == cell_key(cell(model="base"))
 
 
 class TestResultCache:

@@ -1,0 +1,1 @@
+"""Tests for the memory-model registry, backends, and litmus matrix."""

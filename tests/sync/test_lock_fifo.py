@@ -1,0 +1,95 @@
+"""Regression: per-channel FIFO ordering of lock messages under jitter.
+
+Lock release is fire-and-forget (`SyncController.lock_release` resumes
+the releaser after one cycle while the release message is still in
+flight).  With mesh jitter armed, the same core's *next* acquire could
+overtake its own in-flight release and reach the controller first,
+tripping the non-reentrancy check with "re-acquired a non-reentrant
+lock".  The `_lock_travel` arrival-floor clamp serializes each
+(lock, core) channel; these tests pin both the crash fix and its
+fault-free neutrality.
+
+The race is timing-masked under the base model (acquire-side WB/INV
+latency pads the window) and was exposed by Regional Consistency's
+one-cycle lazy acquire — so the regression runs the lock kernels under
+``rc``, across many jitter seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import INTRA_BMI
+from repro.eval.runner import run_litmus
+from repro.faults.model import FaultKind, FaultPlan, FaultSpec
+
+LOCK_KERNELS = (
+    "lock_counter",
+    "lock_multiline_sweep",
+    "lock_handoff_no_occ",
+    "lock_handoff_three_threads",
+)
+
+
+def _jitter_plan(seed: int, magnitude: int = 8) -> FaultPlan:
+    return FaultPlan(
+        name="lock-fifo-jitter",
+        seed=seed,
+        specs=(
+            FaultSpec(
+                kind=FaultKind.NOC_JITTER, rate=1.0, magnitude=magnitude
+            ),
+        ),
+    )
+
+
+@pytest.mark.parametrize("kernel", LOCK_KERNELS)
+@pytest.mark.parametrize("model", ("base", "rc", "sisd"))
+def test_jittered_lock_kernels_complete_and_match(kernel, model):
+    # Before the clamp this raised SyncError under rc on several seeds;
+    # with it, every run completes and the final image is unchanged
+    # (jitter may only slow things down, never lose the handoff).
+    clean = run_litmus(kernel, INTRA_BMI, memory_digest=True, model=model)
+    for seed in range(6):
+        degraded = run_litmus(
+            kernel, INTRA_BMI, memory_digest=True, model=model,
+            faults=_jitter_plan(seed),
+        )
+        assert degraded.memory_digest == clean.memory_digest, (model, seed)
+
+
+def test_clamp_is_identity_without_faults():
+    # Fault-free runs give every message on a (lock, core) channel an
+    # identical travel time, so the floor never binds: the clamp must be
+    # invisible in both timing and values (the goldens in tests/faults/
+    # pin this machine-wide; this is the targeted unit-level check).
+    from repro.workloads.litmus import LITMUS, machine_params
+    from repro.core.machine import Machine
+
+    kernel = LITMUS["lock_counter"]
+    machine = Machine(machine_params(kernel), INTRA_BMI)
+    sync = machine.sync
+
+    # Same-channel messages with constant travel arrive strictly in order
+    # and unmodified.
+    assert sync._lock_travel(0, 0, 7) == 7
+    # Same cycle, same travel: the floor equals this arrival exactly, so
+    # the second message is not delayed.
+    assert sync._lock_travel(0, 0, 7) == 7
+
+
+def test_clamp_serializes_overtaking_message():
+    from repro.workloads.litmus import LITMUS, machine_params
+    from repro.core.machine import Machine
+
+    kernel = LITMUS["lock_counter"]
+    machine = Machine(machine_params(kernel), INTRA_BMI)
+    sync = machine.sync
+
+    # A slow release (travel 10) followed by a fast acquire (travel 2)
+    # on the same channel: the acquire is held back to arrival >= 10.
+    assert sync._lock_travel(0, 0, 10) == 10
+    assert sync._lock_travel(0, 0, 2) == 10
+    # Distinct channels (other core, other lock) are unaffected.
+    assert sync._lock_travel(1, 0, 2) == 2
+    assert sync._lock_travel(0, 1, 2) == 2
